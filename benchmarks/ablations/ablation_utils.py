@@ -1,0 +1,55 @@
+"""Shared runner for design-choice ablations (DESIGN.md §5).
+
+Ablations run at reduced scale (one workload, smaller budget, two trials)
+— they compare ROBOTune variants against each other, not against the
+paper's absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.space import spark_space
+from repro.tuners import Tuner, WorkloadObjective
+from repro.workloads import get_workload
+
+ABLATION_TRIALS = int(os.environ.get("REPRO_BENCH_ABLATION_TRIALS", 2))
+ABLATION_BUDGET = int(os.environ.get("REPRO_BENCH_ABLATION_BUDGET", 60))
+
+
+def run_variant(make_tuner: Callable[[int], Tuner], *,
+                workload: str = "pagerank", dataset: str = "D1",
+                trials: int | None = None, budget: int | None = None,
+                base_seed: int = 0) -> dict[str, float]:
+    """Run a tuner variant; returns mean best time / search cost / evals."""
+    trials = trials if trials is not None else ABLATION_TRIALS
+    budget = budget if budget is not None else ABLATION_BUDGET
+    space = spark_space()
+    bests, costs, n_evals = [], [], []
+    for t in range(trials):
+        wl = get_workload(workload, dataset)
+        objective = WorkloadObjective(
+            wl, space, rng=np.random.default_rng(9000 + base_seed + t))
+        tuner = make_tuner(base_seed + t)
+        result = tuner.tune(objective, budget, rng=base_seed * 131 + t)
+        bests.append(result.best_time_s)
+        costs.append(result.search_cost_s)
+        n_evals.append(result.n_evaluations)
+    return {
+        "best_s": float(np.mean(bests)),
+        "cost_s": float(np.mean(costs)),
+        "evals": float(np.mean(n_evals)),
+    }
+
+
+def variant_table(rows: dict[str, dict[str, float]]) -> str:
+    """Render {variant: metrics} as an aligned report table."""
+    from repro.bench import format_table
+    table_rows = [(name, m["best_s"], m["cost_s"] / 60.0, m["evals"])
+                  for name, m in rows.items()]
+    return format_table(
+        ["Variant", "best time (s)", "search cost (min)", "evals"],
+        table_rows)

@@ -1,0 +1,33 @@
+"""Ablation: the median-multiple guard against bad configurations.
+
+§4's guard kills configurations running past a multiple of the median
+execution time.  With the guard effectively disabled (huge multiplier),
+search cost should rise while the best found configuration stays similar.
+"""
+
+from repro.core import ParameterSelector, ROBOTune
+
+from ablation_utils import run_variant, variant_table
+
+
+def _tuner(seed: int, multiplier: float):
+    return ROBOTune(selector=ParameterSelector(n_repeats=3, rng=seed),
+                    guard_multiplier=multiplier, rng=seed)
+
+
+def test_guard_on_vs_off(benchmark, emit):
+    def run_all():
+        return {
+            "guard x3 median": run_variant(lambda s: _tuner(s, 3.0)),
+            "guard x8 median": run_variant(lambda s: _tuner(s, 8.0)),
+            "guard off (x1000)": run_variant(lambda s: _tuner(s, 1000.0)),
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ablation_guard_onoff",
+         "Ablation: bad-configuration guard multiplier\n"
+         + variant_table(rows))
+    assert rows["guard x3 median"]["cost_s"] <= rows["guard off (x1000)"]["cost_s"]
+    # The guard must not wreck result quality.
+    assert rows["guard x3 median"]["best_s"] \
+        <= 1.3 * rows["guard off (x1000)"]["best_s"]

@@ -1,0 +1,42 @@
+"""Ablation: the GP-Hedge portfolio vs each single acquisition function.
+
+The paper's motivation for Hedge (§3.4): no single acquisition function is
+guaranteed best on an unknown objective; the adaptive portfolio should be
+competitive with the best individual function.
+"""
+
+import numpy as np
+
+from repro.core import (ExpectedImprovement, GPHedge, LowerConfidenceBound,
+                        ParameterSelector, ProbabilityOfImprovement, ROBOTune)
+
+from ablation_utils import run_variant, variant_table
+
+
+def _tuner(seed: int, functions=None):
+    engine_kwargs = {}
+    if functions is not None:
+        engine_kwargs["hedge"] = GPHedge(functions, rng=seed)
+    return ROBOTune(selector=ParameterSelector(n_repeats=3, rng=seed),
+                    engine_kwargs=engine_kwargs, rng=seed)
+
+
+def test_hedge_vs_single_acquisitions(benchmark, emit):
+    def run_all():
+        return {
+            "Hedge (PI+EI+LCB)": run_variant(lambda s: _tuner(s)),
+            "PI only": run_variant(
+                lambda s: _tuner(s, [ProbabilityOfImprovement()])),
+            "EI only": run_variant(
+                lambda s: _tuner(s, [ExpectedImprovement()])),
+            "LCB only": run_variant(
+                lambda s: _tuner(s, [LowerConfidenceBound()])),
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ablation_hedge_vs_single",
+         "Ablation: Hedge portfolio vs single acquisition functions\n"
+         + variant_table(rows))
+    singles = [rows[k]["best_s"] for k in ("PI only", "EI only", "LCB only")]
+    # Hedge should be competitive: not far behind the best single function.
+    assert rows["Hedge (PI+EI+LCB)"]["best_s"] <= 1.25 * min(singles)

@@ -1,0 +1,77 @@
+"""Ablation: configuration memoization on vs off for a repeated workload.
+
+Tunes PR-D1 once, then PR-D3 either with the warm stores (paper behaviour)
+or with everything cold; the warm session should reach a good
+configuration in fewer iterations (Figure 6's mechanism).
+"""
+
+import numpy as np
+
+from repro.bench import iterations_to_within
+from repro.core import (ConfigMemoizationBuffer, ParameterSelectionCache,
+                        ParameterSelector, ROBOTune)
+from repro.space import spark_space
+from repro.tuners import WorkloadObjective
+from repro.workloads import get_workload
+
+from ablation_utils import ABLATION_BUDGET, ABLATION_TRIALS, variant_table
+
+
+def _session(seed: int, warm: bool):
+    space = spark_space()
+    cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+    tuner = ROBOTune(selector=ParameterSelector(n_repeats=3, rng=seed),
+                     selection_cache=cache, memo_buffer=memo, rng=seed)
+    if warm:
+        wl1 = get_workload("pagerank", "D1")
+        obj1 = WorkloadObjective(wl1, space, rng=np.random.default_rng(seed))
+        tuner.tune(obj1, ABLATION_BUDGET, rng=seed)
+    else:
+        # Cold: selection still cached (we ablate memoization only), so
+        # run selection on D1 without storing any tuned configurations.
+        wl1 = get_workload("pagerank", "D1")
+        obj1 = WorkloadObjective(wl1, space, rng=np.random.default_rng(seed))
+        warm_tuner = ROBOTune(selector=ParameterSelector(n_repeats=3, rng=seed),
+                              selection_cache=cache,
+                              memo_buffer=ConfigMemoizationBuffer(), rng=seed)
+        warm_tuner.tune(obj1, ABLATION_BUDGET, rng=seed)
+    wl3 = get_workload("pagerank", "D3")
+    obj3 = WorkloadObjective(wl3, space, rng=np.random.default_rng(seed + 1))
+    return tuner.tune(obj3, ABLATION_BUDGET, rng=seed + 1)
+
+
+def test_memoization_on_vs_off(benchmark, emit):
+    def run_all():
+        curves = {"memoization ON": [], "memoization OFF": []}
+        bests = {"memoization ON": [], "memoization OFF": []}
+        for label, warm in (("memoization ON", True),
+                            ("memoization OFF", False)):
+            for t in range(ABLATION_TRIALS):
+                res = _session(500 + t, warm)
+                curves[label].append(res.best_curve())
+                bests[label].append(res.best_time_s)
+        # Iterations to reach a *common* quality target: 15% above the
+        # best time any variant achieved (per-session "within X% of own
+        # best" is an extreme-value statistic and too noisy to compare).
+        target = min(min(v) for v in bests.values()) * 1.15
+        out = {}
+        for label in curves:
+            its = []
+            for curve in curves[label]:
+                hit = np.nonzero(curve <= target)[0]
+                its.append(int(hit[0]) + 1 if hit.size else ABLATION_BUDGET)
+            out[label] = {"best_s": float(np.mean(bests[label])),
+                          "cost_s": 0.0,
+                          "evals": float(np.mean(its))}
+        return out
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report = ("Ablation: memoized configs on vs off for a repeated "
+              "workload (PR-D3 after PR-D1)\n"
+              "('evals' column = iterations to reach the common quality "
+              "target)\n" + variant_table(rows))
+    emit("ablation_memoization_onoff", report)
+    on, off = rows["memoization ON"], rows["memoization OFF"]
+    # Memoization must help: a clearly better configuration, or the
+    # common target reached in no more iterations.
+    assert on["best_s"] <= off["best_s"] * 1.02 or on["evals"] <= off["evals"]

@@ -1,0 +1,40 @@
+"""Ablation: Random-Forests parameter selection on vs off.
+
+With selection off, BO must model the full 44-dimensional space — the
+paper's §3.1 argument is that GP-BO efficiency collapses in high
+dimensions, so the reduced space should find better configurations.
+"""
+
+from repro.core import ParameterSelectionCache, ParameterSelector, ROBOTune
+from repro.space import spark_space
+
+from ablation_utils import run_variant, variant_table
+
+
+def _with_selection(seed: int):
+    return ROBOTune(selector=ParameterSelector(n_repeats=3, rng=seed),
+                    rng=seed)
+
+
+def _without_selection(seed: int):
+    # Pre-seed the cache with *all* 44 parameters: the reduced space
+    # degenerates to the full generic space and no selection run happens.
+    cache = ParameterSelectionCache()
+    cache.put("pagerank", spark_space().names)
+    return ROBOTune(selection_cache=cache, rng=seed)
+
+
+def test_selection_on_vs_off(benchmark, emit):
+    def run_all():
+        return {
+            "selection ON (reduced space)": run_variant(_with_selection),
+            "selection OFF (44-dim BO)": run_variant(_without_selection),
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ablation_selection_onoff",
+         "Ablation: parameter selection on vs off\n" + variant_table(rows))
+    on = rows["selection ON (reduced space)"]["best_s"]
+    off = rows["selection OFF (44-dim BO)"]["best_s"]
+    assert on <= 1.1 * off, \
+        f"selection should not hurt best config (on={on:.1f}, off={off:.1f})"

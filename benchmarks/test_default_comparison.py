@@ -1,0 +1,36 @@
+"""E-DEF: §5.2 — tuned configurations vs the Spark default configuration.
+
+Expected shape: defaults OOM on PageRank and ConnectedComponents, hit
+runtime errors on the two larger TeraSort datasets, and are massively
+slower on KMeans (the paper reports 27.1x) and moderately slower on
+LogisticRegression (2.17x).
+"""
+
+from repro.bench import run_default_comparison
+from repro.sparksim import RunStatus, SparkConf, SparkSimulator
+from repro.workloads import get_workload
+
+from conftest import get_study
+
+
+def test_default_comparison(benchmark, emit):
+    study = get_study()
+    report = benchmark.pedantic(lambda: run_default_comparison(study),
+                                rounds=1, iterations=1)
+    emit("default_comparison", report)
+
+    sim = SparkSimulator()
+    conf = SparkConf()
+    for wl in ("pagerank", "connectedcomponents"):
+        res = sim.run(get_workload(wl, "D1").build_stages(), conf, rng=0)
+        assert res.status is RunStatus.OOM, \
+            f"default config should OOM on {wl}"
+    for ds in ("D2", "D3"):
+        res = sim.run(get_workload("terasort", ds).build_stages(), conf, rng=0)
+        assert not res.ok, f"default config should fail on terasort {ds}"
+    # KMeans succeeds but far from tuned performance.
+    km = sim.run(get_workload("kmeans", "D1").build_stages(), conf, rng=0)
+    tuned = study.mean_best_time("ROBOTune", "kmeans", "D1")
+    assert km.ok
+    assert km.duration_s / tuned > 5.0, \
+        "KMeans default should be many times slower than tuned"

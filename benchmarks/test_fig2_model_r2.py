@@ -1,0 +1,31 @@
+"""E-F2: Figure 2 — R² of Lasso/ElasticNet/RF/ET on PR and KM datasets.
+
+Expected shape: tree ensembles (RF best) explain substantially more
+variance than the linear models across every dataset.
+"""
+
+import numpy as np
+
+from repro.bench import collect_lhs_times, model_r2_scores, render_fig2
+
+from conftest import FIG2_SAMPLES
+
+
+def _fig2_scores() -> dict[str, dict[str, float]]:
+    scores: dict[str, dict[str, float]] = {}
+    for wl, abbrev in (("pagerank", "PR"), ("kmeans", "KM")):
+        for ds in ("D1", "D2", "D3"):
+            U, y = collect_lhs_times(wl, ds, FIG2_SAMPLES, rng=101)
+            scores[f"{abbrev}-{ds}"] = model_r2_scores(U, y, rng=102)
+    return scores
+
+
+def test_fig2(benchmark, emit):
+    scores = benchmark.pedantic(_fig2_scores, rounds=1, iterations=1)
+    emit("fig2_model_r2", render_fig2(scores))
+    rf = np.mean([s["RF"] for s in scores.values()])
+    lasso = np.mean([s["Lasso"] for s in scores.values()])
+    enet = np.mean([s["ElasticNet"] for s in scores.values()])
+    # Paper shape: RF explains the most variance; linear models trail.
+    assert rf > lasso
+    assert rf > enet

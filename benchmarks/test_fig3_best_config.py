@@ -1,0 +1,23 @@
+"""E-F3: Figure 3 — best-config execution time scaled to Random Search.
+
+Expected shape: ROBOTune finds similar or better configurations than
+BestConfig/Gunther/RS under the same budget (geo-mean ratio <= 1).
+"""
+
+from repro.bench import render_fig3
+from repro.bench.experiments import svg_fig3
+from repro.utils.stats import geometric_mean
+
+from conftest import get_study
+
+
+def test_fig3(benchmark, emit, results_dir):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    emit("fig3_best_config", render_fig3(study))
+    (results_dir / "fig3_best_config.svg").write_text(svg_fig3(study))
+    ratios = []
+    for rec in study.filter(tuner="ROBOTune"):
+        rs = study.mean_best_time("RandomSearch", rec.workload, rec.dataset)
+        ratios.append(rec.best_time_s / rs)
+    # ROBOTune should not lose to Random Search on average.
+    assert geometric_mean(ratios) <= 1.05

@@ -1,0 +1,24 @@
+"""E-F4: Figure 4 — search cost scaled to Random Search.
+
+Expected shape: ROBOTune's search cost is clearly below every baseline's
+(the paper reports 1.5-1.6x improvements on average).
+"""
+
+from repro.bench import render_fig4
+from repro.bench.experiments import svg_fig4
+from repro.utils.stats import geometric_mean
+
+from conftest import get_study
+
+
+def test_fig4(benchmark, emit, results_dir):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    emit("fig4_search_cost", render_fig4(study))
+    (results_dir / "fig4_search_cost.svg").write_text(svg_fig4(study))
+    for baseline in ("BestConfig", "Gunther", "RandomSearch"):
+        ratios = []
+        for rec in study.filter(tuner="ROBOTune"):
+            base = study.mean_search_cost(baseline, rec.workload, rec.dataset)
+            ratios.append(rec.search_cost_s / base)
+        assert geometric_mean(ratios) < 1.0, \
+            f"ROBOTune search cost should beat {baseline}"

@@ -1,0 +1,25 @@
+"""E-F5: Figure 5 — per-evaluation execution-time distributions (PR, KM).
+
+Expected shape: the baselines' medians sit well above ROBOTune's (the paper
+reports 1.35-1.53x) and their tails are much longer.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig5
+
+from conftest import get_study
+
+
+def test_fig5(benchmark, emit):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    emit("fig5_exec_distribution", render_fig5(study))
+    for wl in ("pagerank", "kmeans"):
+        robo = np.concatenate([r.exec_times
+                               for r in study.filter(tuner="ROBOTune",
+                                                     workload=wl)])
+        rs = np.concatenate([r.exec_times
+                             for r in study.filter(tuner="RandomSearch",
+                                                   workload=wl)])
+        assert np.median(rs) > np.median(robo), \
+            f"RS median should exceed ROBOTune's on {wl}"

@@ -1,0 +1,33 @@
+"""E-F6: Figure 6 — convergence speed, cold (PR-D1) vs memoized (PR-D3).
+
+Expected shape: on the memoized dataset ROBOTune starts near-optimal
+(well-performing configurations appear very early) and reaches within 10%
+of its final best in far fewer iterations than on the cold dataset.
+"""
+
+import numpy as np
+
+from repro.bench import iterations_to_within, render_fig6
+from repro.bench.experiments import svg_fig6
+
+from conftest import get_study
+
+
+def test_fig6(benchmark, emit, results_dir):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    emit("fig6_memoization", render_fig6(study))
+    for name, svg in svg_fig6(study).items():
+        (results_dir / name).write_text(svg)
+
+    def mean_iters(dataset: str, frac: float) -> float:
+        recs = study.filter(tuner="ROBOTune", workload="pagerank",
+                            dataset=dataset)
+        its = [iterations_to_within(r.curve, frac) for r in recs]
+        return float(np.mean([i for i in its if i is not None]))
+
+    cold = mean_iters("D1", 0.10)
+    warm = mean_iters("D3", 0.10)
+    # Mean over trials; a small slack absorbs the extreme-value noise of
+    # "within X% of own best" at low trial counts.
+    assert warm <= cold + 5, \
+        f"memoized sessions should converge faster (cold={cold}, warm={warm})"

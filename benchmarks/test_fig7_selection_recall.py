@@ -1,0 +1,34 @@
+"""E-F7: Figure 7 — recall of selected parameters vs selection samples.
+
+Expected shape: recall stays at (or very near) 1.0 down to about 100
+samples and degrades below that, motivating the paper's choice of 100
+generic LHS samples.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig7, selection_recall_sweep
+from repro.workloads import all_workload_names
+
+from conftest import FIG7_SAMPLES
+
+
+def _sweep():
+    out = {}
+    for i, wl in enumerate(all_workload_names()):
+        out[wl] = selection_recall_sweep(
+            wl, ground_truth_samples=FIG7_SAMPLES,
+            sample_counts=(125, 100, 75, 50, 25), rng=300 + i)
+    return out
+
+
+def test_fig7(benchmark, emit):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("fig7_selection_recall", render_fig7(points))
+    at100 = [p.recall for pts in points.values() for p in pts
+             if p.n_samples == 100]
+    at25 = [p.recall for pts in points.values() for p in pts
+            if p.n_samples == 25]
+    assert np.mean(at100) >= 0.75, "recall at 100 samples should be high"
+    assert np.mean(at100) >= np.mean(at25), \
+        "recall should not improve when samples shrink to 25"

@@ -1,0 +1,32 @@
+"""E-F8: Figure 8 — sampling behaviour in the cores-vs-memory plane.
+
+Expected shape: ROBOTune concentrates samples in a promising region while
+still covering the plane (exploitation + exploration); the baselines show
+no concentration pattern beyond chance.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig8
+
+from conftest import get_study
+
+
+def _densest_share(study, tuner: str) -> float:
+    recs = study.filter(tuner=tuner, workload="pagerank", dataset="D3")
+    pts = np.vstack([r.cores_mem for r in recs])
+    cores = pts[:, 0] / 32.0
+    logmem = np.log(pts[:, 1] / 1024.0) / np.log(180.0)
+    hist = np.zeros((5, 5))
+    np.add.at(hist, (np.clip((cores * 5).astype(int), 0, 4),
+                     np.clip((logmem * 5).astype(int), 0, 4)), 1)
+    return float(hist.max() / hist.sum())
+
+
+def test_fig8(benchmark, emit):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    emit("fig8_sampling_behavior", render_fig8(study))
+    robo = _densest_share(study, "ROBOTune")
+    rs = _densest_share(study, "RandomSearch")
+    assert robo > rs, ("ROBOTune should concentrate sampling more than "
+                       f"random search (robo={robo:.2f}, rs={rs:.2f})")

@@ -1,0 +1,40 @@
+"""E-F9: Figure 9 — the GP's perceived response surface over iterations.
+
+Expected shape: already by iteration ~25 the model has identified
+promising high-performing regions, and the perceived-near-optimal area
+stays a modest fraction of the plane (the model discriminates regions).
+"""
+
+import pytest
+
+from repro.bench import render_fig9, response_surface
+from repro.bench.experiments import svg_fig9
+
+from conftest import get_study
+
+
+def _robotune_pr_d3_result(study):
+    for rec in study.filter(tuner="ROBOTune", workload="pagerank",
+                            dataset="D3"):
+        res = rec.result
+        if res is None or res.reduced_space is None:
+            continue
+        if ("spark.executor.cores" in res.reduced_space
+                and "spark.executor.memory" in res.reduced_space):
+            return res
+    return None
+
+
+def test_fig9(benchmark, emit, results_dir):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    result = _robotune_pr_d3_result(study)
+    if result is None:
+        pytest.skip("no PR-D3 session selected the cores/memory plane")
+    emit("fig9_response_surface", render_fig9(result))
+    for name, svg in svg_fig9(result).items():
+        (results_dir / name).write_text(svg)
+    surfaces = response_surface(result, at_iterations=(25, 50, 75))
+    for surf in surfaces.values():
+        mean = surf["mean"]
+        # The model must discriminate: not the whole plane near-optimal.
+        assert (mean <= mean.min() * 1.2).mean() < 0.9

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the substrates (classic pytest-benchmark timing).
+
+These guard against performance regressions in the hot paths: one
+simulated application run, one RF fit, one GP fit+predict, and LHS design
+generation.  The simulator must stay orders of magnitude faster than the
+workloads it models for the paper-scale studies to be affordable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcessRegressor
+from repro.ml import RandomForestRegressor
+from repro.sampling import maximin_latin_hypercube
+from repro.space import spark_space
+from repro.sparksim import SparkSimulator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return spark_space()
+
+
+def test_bench_simulator_run(benchmark, space):
+    sim = SparkSimulator()
+    stages = get_workload("pagerank", "D2").build_stages()
+    conf = space.decode(np.full(space.dim, 0.6))
+    result = benchmark(lambda: sim.run(stages, conf, rng=1))
+    assert result.duration_s > 0
+
+
+def test_bench_simulator_terasort(benchmark, space):
+    sim = SparkSimulator()
+    stages = get_workload("terasort", "D3").build_stages()
+    conf = space.decode(np.full(space.dim, 0.7))
+    result = benchmark(lambda: sim.run(stages, conf, rng=1))
+    assert result.duration_s > 0
+
+
+def test_bench_rf_fit(benchmark, space):
+    rng = np.random.default_rng(0)
+    X = rng.random((100, space.dim))
+    y = 3 * X[:, 0] + np.sin(5 * X[:, 1]) + rng.normal(0, 0.1, 100)
+    forest = benchmark(lambda: RandomForestRegressor(50, rng=1).fit(X, y))
+    assert forest.oob_score() > 0.3
+
+
+def test_bench_gp_fit_predict(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.random((60, 6))
+    y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2
+    Xq = rng.random((256, 6))
+
+    def fit_predict():
+        gp = GaussianProcessRegressor(rng=1).fit(X, y)
+        return gp.predict(Xq, return_std=True)
+
+    mu, sigma = benchmark(fit_predict)
+    assert mu.shape == (256,) and sigma.shape == (256,)
+
+
+def test_bench_lhs_design(benchmark, space):
+    U = benchmark(lambda: maximin_latin_hypercube(100, space.dim, rng=3))
+    assert U.shape == (100, space.dim)

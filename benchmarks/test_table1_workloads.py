@@ -1,0 +1,32 @@
+"""E-T1: regenerate Table 1 and sanity-run every workload/dataset cell."""
+
+from repro.bench import render_table1
+from repro.sparksim import SparkSimulator
+from repro.workloads import get_workload, iter_table1
+
+
+def _run_all_cells() -> list[str]:
+    """Simulate every Table 1 cell under a reasonable configuration."""
+    sim = SparkSimulator()
+    conf = {
+        "spark.executor.cores": 8,
+        "spark.executor.memory": 24 * 1024,
+        "spark.executor.instances": 20,
+        "spark.default.parallelism": 400,
+    }
+    lines = []
+    for name, label in iter_table1():
+        wl = get_workload(name, label)
+        res = sim.run(wl.build_stages(), conf, rng=1)
+        lines.append(f"{wl.abbrev}-{label}: {res.status.value} "
+                     f"{res.duration_s:.1f}s")
+    return lines
+
+
+def test_table1(benchmark, emit):
+    lines = benchmark.pedantic(_run_all_cells, rounds=1, iterations=1)
+    report = render_table1() + "\n\nSanity runs (8c/24g x20 executors):\n" \
+        + "\n".join(lines)
+    emit("table1_workloads", report)
+    assert len(lines) == 15
+    assert all("invalid" not in ln for ln in lines)

@@ -1,0 +1,27 @@
+"""E-T2: Table 2 — iterations for ROBOTune to get within 1/5/10% of best.
+
+Expected shape: within-5% is reached in well under half the budget for
+most workloads (the paper reports 17-37 iterations out of 100).
+"""
+
+import numpy as np
+
+from repro.bench import iterations_to_within, render_table2
+
+from conftest import BUDGET, get_study
+
+
+def test_table2(benchmark, emit):
+    study = benchmark.pedantic(get_study, rounds=1, iterations=1)
+    emit("table2_search_speed", render_table2(study))
+    recs = study.filter(tuner="ROBOTune")
+    within5 = [iterations_to_within(r.curve, 0.05) for r in recs]
+    within5 = [i for i in within5 if i is not None]
+    assert within5, "no session ever got within 5% of its best"
+    assert np.mean(within5) < 0.7 * BUDGET
+    # Tighter tolerances can only take more iterations.
+    for r in recs:
+        i1 = iterations_to_within(r.curve, 0.01)
+        i10 = iterations_to_within(r.curve, 0.10)
+        if i1 is not None and i10 is not None:
+            assert i10 <= i1

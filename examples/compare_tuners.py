@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare ROBOTune against BestConfig, Gunther and Random Search.
+
+Reproduces a slice of the paper's Figures 3 and 4 on one workload: each
+tuner gets the same budget; the report shows best-found execution time and
+total search cost (the summed execution time of every configuration each
+tuner ran), scaled to Random Search.
+
+Run:
+    python examples/compare_tuners.py [--workload pagerank] [--trials 2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (BestConfig, Gunther, ROBOTune, RandomSearch,
+                   WorkloadObjective, get_workload, spark_space)
+from repro.bench import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="pagerank")
+    parser.add_argument("--dataset", default="D1")
+    parser.add_argument("--budget", type=int, default=100)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    space = spark_space()
+    tuners = {
+        "ROBOTune": lambda seed: ROBOTune(rng=seed),
+        "BestConfig": lambda seed: BestConfig(),
+        "Gunther": lambda seed: Gunther(),
+        "RandomSearch": lambda seed: RandomSearch(),
+    }
+
+    results: dict[str, dict[str, float]] = {}
+    for name, make in tuners.items():
+        bests, costs = [], []
+        for trial in range(args.trials):
+            seed = args.seed * 1000 + trial
+            workload = get_workload(args.workload, args.dataset)
+            objective = WorkloadObjective(workload, space, rng=seed + 1)
+            result = make(seed).tune(objective, args.budget, rng=seed)
+            bests.append(result.best_time_s)
+            costs.append(result.search_cost_s)
+        results[name] = {"best": float(np.mean(bests)),
+                         "cost": float(np.mean(costs))}
+        print(f"{name:12s} done: best={results[name]['best']:.1f}s "
+              f"cost={results[name]['cost'] / 60:.0f}min")
+
+    rs = results["RandomSearch"]
+    rows = [(name,
+             r["best"], r["best"] / rs["best"],
+             r["cost"] / 60, r["cost"] / rs["cost"])
+            for name, r in results.items()]
+    print()
+    print(format_table(
+        ["Tuner", "best (s)", "best/RS", "cost (min)", "cost/RS"], rows,
+        title=f"{args.workload}/{args.dataset}, budget {args.budget}, "
+              f"{args.trials} trial(s) — lower is better"))
+
+
+if __name__ == "__main__":
+    main()

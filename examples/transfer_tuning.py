@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Cross-workload transfer: skip parameter selection for look-alike apps.
+
+ROBOTune's parameter-selection cache is keyed by exact workload identity,
+so a brand-new application always pays the ~100-sample selection cost.
+This example demonstrates the :class:`repro.core.WorkloadMapper`
+extension: characterize workloads by their execution-time signature on a
+tiny shared probe set; when a new workload rank-correlates strongly with a
+known one (here: ConnectedComponents vs the already-tuned PageRank — both
+cached-graph iterative shuffles), reuse its selected parameters and go
+straight to Bayesian optimization.
+
+Run:
+    python examples/transfer_tuning.py [--budget 60]
+"""
+
+import argparse
+
+from repro import (ParameterSelectionCache, ROBOTune, WorkloadObjective,
+                   get_workload, spark_space)
+from repro.core import WorkloadMapper
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=60)
+    parser.add_argument("--probes", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    space = spark_space()
+    mapper = WorkloadMapper(space, n_probes=args.probes, threshold=0.75)
+    cache = ParameterSelectionCache()
+
+    # --- tune the first workload the normal (cold) way -------------------
+    pr = get_workload("pagerank", "D1")
+    pr_objective = WorkloadObjective(pr, space, rng=args.seed)
+    print(f"Cold-tuning {pr.full_key} (pays full parameter selection)...")
+    tuner = ROBOTune(selection_cache=cache, rng=args.seed)
+    pr_result = tuner.tune(pr_objective, args.budget, rng=args.seed)
+    print(f"  selection cost {pr_result.selection_cost_s / 60:.0f} min, "
+          f"selected {pr_result.selected_parameters}")
+    sig, probe_cost = mapper.signature(
+        WorkloadObjective(pr, space, rng=args.seed + 1))
+    mapper.register("pagerank", sig, pr_result.selected_parameters)
+
+    # --- a new, similar workload arrives ----------------------------------
+    cc = get_workload("connectedcomponents", "D1")
+    cc_objective = WorkloadObjective(cc, space, rng=args.seed + 2)
+    print(f"\nNew workload {cc.full_key}: probing with {args.probes} "
+          "configurations...")
+    mapping = mapper.map(WorkloadObjective(cc, space, rng=args.seed + 3))
+    print(f"  probe cost {mapping.probe_cost_s / 60:.1f} min "
+          f"(vs {pr_result.selection_cost_s / 60:.0f} min full selection)")
+
+    if mapping.matched:
+        print(f"  matched '{mapping.matched}' "
+              f"(Spearman rho = {mapping.correlation:.2f}) — reusing its "
+              "selected parameters, skipping selection")
+        cache.put(cc.key, mapper.selected_for(mapping.matched))
+    else:
+        print(f"  no match (best rho = {mapping.correlation:.2f}) — "
+              "falling back to full parameter selection")
+
+    cc_result = tuner.tune(cc_objective, args.budget, rng=args.seed + 4)
+    print(f"\n{cc.full_key}: selection cache hit = "
+          f"{cc_result.selection_cache_hit}, "
+          f"best = {cc_result.best_time_s:.1f}s, "
+          f"search cost = {cc_result.search_cost_s / 60:.0f} min")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

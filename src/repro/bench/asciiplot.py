@@ -1,0 +1,112 @@
+"""ASCII rendering of figure data: heatmaps and scatter planes.
+
+The paper's Figures 8 and 9 are 2-D plots (sampling scatter and GP
+response surfaces over the cores×memory plane).  These helpers render the
+same data as terminal text so the benchmark reports stay self-contained —
+darker glyphs mean *better* (lower predicted execution time) to match the
+paper's "lighter colour denotes better" inverted, i.e. we mark good
+regions with dense characters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "ascii_scatter"]
+
+# Light -> dense glyph ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, *, x_labels: Sequence[str] | None = None,
+                  y_labels: Sequence[str] | None = None,
+                  invert: bool = True, title: str | None = None,
+                  points: np.ndarray | None = None) -> str:
+    """Render a matrix as an ASCII heatmap.
+
+    Parameters
+    ----------
+    values:
+        ``(rows, cols)`` matrix; row 0 is drawn at the bottom (y grows up).
+    invert:
+        If True (default), *low* values map to dense glyphs — right for
+        execution-time surfaces where low is good.
+    points:
+        Optional ``(n, 2)`` array of (col, row) fractional grid coordinates
+        overlaid as ``o`` markers (sampled configurations).
+    x_labels / y_labels:
+        Axis-end labels (first and last shown).
+    """
+    M = np.asarray(values, dtype=float)
+    if M.ndim != 2:
+        raise ValueError("values must be a 2-D matrix")
+    lo, hi = float(np.nanmin(M)), float(np.nanmax(M))
+    span = hi - lo if hi > lo else 1.0
+    norm = (M - lo) / span
+    if invert:
+        norm = 1.0 - norm
+    idx = np.clip((norm * (len(_RAMP) - 1)).round().astype(int), 0,
+                  len(_RAMP) - 1)
+    grid = [[_RAMP[idx[r, c]] for c in range(M.shape[1])]
+            for r in range(M.shape[0])]
+    if points is not None:
+        for col, row in np.asarray(points, dtype=float):
+            r = int(round(row))
+            c = int(round(col))
+            if 0 <= r < M.shape[0] and 0 <= c < M.shape[1]:
+                grid[r][c] = "o"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(M.shape[0] - 1, -1, -1):
+        prefix = ""
+        if y_labels is not None:
+            if r == M.shape[0] - 1:
+                prefix = f"{y_labels[-1]:>8} "
+            elif r == 0:
+                prefix = f"{y_labels[0]:>8} "
+            else:
+                prefix = " " * 9
+        lines.append(prefix + "|" + "".join(grid[r]) + "|")
+    if x_labels is not None:
+        pad = " " * 9 if y_labels is not None else ""
+        width = M.shape[1]
+        left, right = str(x_labels[0]), str(x_labels[-1])
+        gap = max(width - len(left) - len(right), 1)
+        lines.append(pad + " " + left + " " * gap + right)
+    if points is not None:
+        lines.append("('o' = sampled configuration; dense glyphs = "
+                     "better predicted time)")
+    return "\n".join(lines)
+
+
+def ascii_scatter(x: np.ndarray, y: np.ndarray, *, width: int = 40,
+                  height: int = 16, title: str | None = None,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render points as an ASCII density scatter (1-9, then ``#``)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D and the same length")
+    if x.size == 0:
+        raise ValueError("no points to plot")
+    gx = np.clip(((x - x.min()) / (np.ptp(x) or 1.0) * (width - 1)).astype(int),
+                 0, width - 1)
+    gy = np.clip(((y - y.min()) / (np.ptp(y) or 1.0) * (height - 1)).astype(int),
+                 0, height - 1)
+    counts = np.zeros((height, width), dtype=int)
+    np.add.at(counts, (gy, gx), 1)
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        row = "".join(
+            " " if c == 0 else (str(c) if c <= 9 else "#")
+            for c in counts[r])
+        lines.append("|" + row + "|")
+    lines.append(f" {x_label}: [{x.min():g}, {x.max():g}]   "
+                 f"{y_label}: [{y.min():g}, {y.max():g}]")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Figure-specific computations (model comparisons, recall sweeps, surfaces).
+
+Each helper returns plain data structures; :mod:`repro.bench.experiments`
+renders them into the textual tables/series the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.selection import ParameterSelector
+from ..core.tuner import ROBOTuneResult
+from ..gp.gpr import GaussianProcessRegressor
+from ..ml.forest import ExtraTreesRegressor, RandomForestRegressor
+from ..ml.linear import ElasticNet, Lasso
+from ..ml.metrics import recall_score
+from ..ml.model_selection import cross_val_score
+from ..sampling.lhs import latin_hypercube
+from ..space.space import ConfigSpace
+from ..space.spark_params import spark_space
+from ..tuners.objective import WorkloadObjective
+from ..utils.rng import as_generator
+from ..workloads.registry import get_workload
+
+__all__ = ["FIG2_MODELS", "model_r2_scores", "selection_recall_sweep",
+           "response_surface", "collect_lhs_times"]
+
+#: Figure 2's four models, in the paper's order.
+FIG2_MODELS: dict[str, Callable[[], object]] = {
+    "Lasso": lambda: Lasso(0.01),
+    "ElasticNet": lambda: ElasticNet(0.01, l1_ratio=0.5),
+    "RF": lambda: RandomForestRegressor(100, max_features=0.5, rng=11),
+    "ET": lambda: ExtraTreesRegressor(100, max_features=0.5, rng=12),
+}
+
+
+def collect_lhs_times(workload: str, dataset: str, n_samples: int,
+                      rng: np.random.Generator | int | None = None,
+                      *, space: ConfigSpace | None = None,
+                      time_limit_s: float = 480.0):
+    """Execute *n_samples* LHS configurations; returns (U, times)."""
+    rng = as_generator(rng)
+    space = space or spark_space()
+    wl = get_workload(workload, dataset)
+    objective = WorkloadObjective(wl, space, rng=rng,
+                                  time_limit_s=time_limit_s)
+    U = latin_hypercube(n_samples, space.dim, rng)
+    y = np.array([objective(u).objective for u in U])
+    return U, y
+
+
+def model_r2_scores(U: np.ndarray, y: np.ndarray, *, cv: int = 5,
+                    log_target: bool = True,
+                    rng: np.random.Generator | int | None = None,
+                    models: dict[str, Callable[[], object]] | None = None,
+                    ) -> dict[str, float]:
+    """Figure 2: mean k-fold R² for each candidate model."""
+    rng = as_generator(rng)
+    target = np.log(np.maximum(y, 1e-9)) if log_target else y
+    out: dict[str, float] = {}
+    for name, make in (models or FIG2_MODELS).items():
+        scores = cross_val_score(make, U, target, cv=cv, rng=rng)
+        out[name] = float(scores.mean())
+    return out
+
+
+@dataclass(frozen=True)
+class RecallPoint:
+    """Recall of one (workload, sample-count) cell in Figure 7."""
+
+    workload: str
+    n_samples: int
+    recall: float
+    selected: tuple[str, ...]
+
+
+def selection_recall_sweep(workload: str, dataset: str = "D1", *,
+                           ground_truth_samples: int = 200,
+                           sample_counts: Sequence[int] = (150, 125, 100, 75,
+                                                           50, 25),
+                           rng: np.random.Generator | int | None = None,
+                           selector_kwargs: dict | None = None,
+                           ) -> list[RecallPoint]:
+    """Figure 7: recall of selected parameters vs selection-sample count.
+
+    The ground truth is the selection from ``ground_truth_samples`` LHS
+    samples (paper: 200); smaller models are trained on prefixes of the
+    same evaluated sample set (subsampling, as decreasing budgets would).
+    """
+    rng = as_generator(rng)
+    space = spark_space()
+    wl = get_workload(workload, dataset)
+    objective = WorkloadObjective(wl, space, rng=rng)
+    kwargs = dict(n_samples=ground_truth_samples, n_repeats=5)
+    kwargs.update(selector_kwargs or {})
+    selector = ParameterSelector(rng=rng, **kwargs)
+    evals = selector.collect(objective, space)
+    truth = set(selector.select(space, evals).selected)
+
+    points = [RecallPoint(workload, ground_truth_samples, 1.0,
+                          tuple(sorted(truth)))]
+    for n in sample_counts:
+        sel = selector.select(space, evals[:n])
+        points.append(RecallPoint(
+            workload, n, recall_score(truth, set(sel.selected)),
+            tuple(sorted(sel.selected))))
+    return points
+
+
+def response_surface(result: ROBOTuneResult, *,
+                     at_iterations: Sequence[int] = (25, 50, 75),
+                     grid: int = 21,
+                     x_param: str = "spark.executor.cores",
+                     y_param: str = "spark.executor.memory",
+                     ) -> dict[int, dict[str, np.ndarray]]:
+    """Figure 9: the GP's perceived cores-vs-memory response surface.
+
+    For each requested iteration count ``k``, a GP is fit on the session's
+    first ``k`` evaluations (in the reduced space) and evaluated over a
+    grid of the two axis parameters, with every other selected parameter
+    pinned at the incumbent's value.  Returns
+    ``{k: {"xs", "ys", "mean", "points"}}`` where ``mean[i, j]`` is the
+    posterior mean at ``(xs[j], ys[i])`` in native units.
+    """
+    space = result.reduced_space
+    if space is None:
+        raise ValueError("result has no reduced space (not a ROBOTune run?)")
+    for p in (x_param, y_param):
+        if p not in space:
+            raise KeyError(f"{p} was not selected in this session")
+    xi, yi = space.index_of(x_param), space.index_of(y_param)
+    evals = result.evaluations
+    out: dict[int, dict[str, np.ndarray]] = {}
+    axis = np.linspace(0.0, 1.0, grid)
+    for k in at_iterations:
+        k = min(k, len(evals))
+        if k < 2:
+            continue
+        X = np.vstack([e.vector for e in evals[:k]])
+        y = np.asarray([e.objective for e in evals[:k]])
+        gp = GaussianProcessRegressor(rng=0).fit(X, y)
+        best = X[int(np.argmin(y))]
+        G = np.tile(best, (grid * grid, 1))
+        xx, yy = np.meshgrid(axis, axis)
+        G[:, xi] = xx.ravel()
+        G[:, yi] = yy.ravel()
+        mean = gp.predict(G).reshape(grid, grid)
+        xs = np.array([space[x_param].from_unit(u) for u in axis], dtype=float)
+        ys = np.array([space[y_param].from_unit(u) for u in axis], dtype=float)
+        out[k] = {"xs": xs, "ys": ys, "mean": mean,
+                  "points": X[:, [xi, yi]].copy()}
+    return out

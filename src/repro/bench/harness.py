@@ -1,0 +1,193 @@
+"""Multi-session experiment harness.
+
+Runs the paper's evaluation protocol (§5.1): every tuner gets the same
+budget (100 executions) and per-configuration cap (480 s); each workload is
+tuned on its three datasets; trials repeat the whole sweep with fresh
+seeds.  Within one trial a tuner's knowledge stores (ROBOTune's parameter
+-selection cache and memoization buffer) persist across the datasets of a
+workload — D1 runs cold, D2/D3 run warm — matching how the paper
+evaluates memoized sampling (Figure 6).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
+from ..core.selection import ParameterSelector
+from ..core.tuner import ROBOTune
+from ..space.spark_params import spark_space
+from ..sparksim.cluster import ClusterSpec
+from ..tuners.base import Tuner, TuningResult
+from ..tuners.bestconfig import BestConfig
+from ..tuners.gunther import Gunther
+from ..tuners.objective import DEFAULT_TIME_LIMIT_S, WorkloadObjective
+from ..tuners.random_search import RandomSearch
+from ..workloads.datasets import DATASET_LABELS
+from ..workloads.registry import all_workload_names, get_workload
+
+__all__ = ["SessionRecord", "StudyResult", "ComparisonStudy", "TUNER_NAMES"]
+
+TUNER_NAMES = ("ROBOTune", "BestConfig", "Gunther", "RandomSearch")
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One tuning session's outcome (one bar of Figures 3/4)."""
+
+    tuner: str
+    workload: str
+    dataset: str
+    trial: int
+    best_time_s: float
+    search_cost_s: float
+    selection_cost_s: float
+    cache_hit: bool
+    curve: np.ndarray                       # best-so-far per iteration
+    exec_times: np.ndarray                  # per-evaluation cost (Figure 5)
+    cores_mem: np.ndarray                   # (n, 2) sampled executor
+                                            # cores/memory (Figure 8)
+    statuses: tuple[str, ...]
+    result: TuningResult | None = None
+
+
+@dataclass
+class StudyResult:
+    """All sessions of a comparison study, with lookup helpers."""
+
+    records: list[SessionRecord] = field(default_factory=list)
+
+    def filter(self, *, tuner: str | None = None, workload: str | None = None,
+               dataset: str | None = None) -> list[SessionRecord]:
+        out = self.records
+        if tuner is not None:
+            out = [r for r in out if r.tuner == tuner]
+        if workload is not None:
+            out = [r for r in out if r.workload == workload]
+        if dataset is not None:
+            out = [r for r in out if r.dataset == dataset]
+        return list(out)
+
+    def mean_best_time(self, tuner: str, workload: str, dataset: str) -> float:
+        recs = self.filter(tuner=tuner, workload=workload, dataset=dataset)
+        if not recs:
+            raise KeyError(f"no sessions for {tuner}/{workload}/{dataset}")
+        return float(np.mean([r.best_time_s for r in recs]))
+
+    def mean_search_cost(self, tuner: str, workload: str, dataset: str) -> float:
+        recs = self.filter(tuner=tuner, workload=workload, dataset=dataset)
+        if not recs:
+            raise KeyError(f"no sessions for {tuner}/{workload}/{dataset}")
+        return float(np.mean([r.search_cost_s for r in recs]))
+
+
+class ComparisonStudy:
+    """Runs the 4-tuner × 5-workload × 3-dataset × N-trial comparison.
+
+    Parameters
+    ----------
+    budget:
+        Evaluations per session (paper: 100).
+    trials:
+        Independent sweeps per workload (paper: 5 per dataset).
+    workloads / datasets / tuners:
+        Subsets for cheaper runs; default to the paper's full grid.
+    keep_results:
+        Attach the full :class:`TuningResult` to each record (needed by
+        Figures 8/9; costs memory).
+    """
+
+    def __init__(self, *, budget: int = 100, trials: int = 5,
+                 workloads: Sequence[str] | None = None,
+                 datasets: Sequence[str] | None = None,
+                 tuners: Sequence[str] | None = None,
+                 cluster: ClusterSpec | None = None,
+                 time_limit_s: float = DEFAULT_TIME_LIMIT_S,
+                 keep_results: bool = False,
+                 selector_factory: Callable[[np.random.Generator], ParameterSelector] | None = None,
+                 base_seed: int = 0):
+        self.budget = budget
+        self.trials = trials
+        self.workloads = list(workloads or all_workload_names())
+        self.datasets = list(datasets or DATASET_LABELS)
+        self.tuners = list(tuners or TUNER_NAMES)
+        unknown = set(self.tuners) - set(TUNER_NAMES)
+        if unknown:
+            raise ValueError(f"unknown tuners: {sorted(unknown)}")
+        self.cluster = cluster
+        self.time_limit_s = time_limit_s
+        self.keep_results = keep_results
+        self.selector_factory = selector_factory
+        self.base_seed = base_seed
+        self.space = spark_space()
+
+    # -- tuner construction ------------------------------------------------------
+    def _make_tuner(self, name: str, rng: np.random.Generator,
+                    stores: dict) -> Tuner:
+        if name == "ROBOTune":
+            selector = (self.selector_factory(rng) if self.selector_factory
+                        else ParameterSelector(n_repeats=5, rng=rng))
+            return ROBOTune(selector=selector,
+                            selection_cache=stores["cache"],
+                            memo_buffer=stores["memo"], rng=rng)
+        if name == "BestConfig":
+            return BestConfig()
+        if name == "Gunther":
+            return Gunther()
+        if name == "RandomSearch":
+            return RandomSearch()
+        raise ValueError(name)
+
+    # -- execution ---------------------------------------------------------------------
+    def run(self, progress: Callable[[str], None] | None = None) -> StudyResult:
+        """Execute every session of the study grid."""
+        study = StudyResult()
+        for trial in range(self.trials):
+            for workload in self.workloads:
+                for tuner_name in self.tuners:
+                    # Knowledge stores persist across this workload's
+                    # datasets within one (trial, tuner) sweep.
+                    stores = {"cache": ParameterSelectionCache(),
+                              "memo": ConfigMemoizationBuffer()}
+                    for dataset in self.datasets:
+                        rec = self._run_session(tuner_name, workload, dataset,
+                                                trial, stores)
+                        study.records.append(rec)
+                        if progress is not None:
+                            progress(f"{tuner_name} {workload}/{dataset} "
+                                     f"trial {trial}: best={rec.best_time_s:.0f}s "
+                                     f"cost={rec.search_cost_s / 60:.0f}min")
+        return study
+
+    def _run_session(self, tuner_name: str, workload: str, dataset: str,
+                     trial: int, stores: dict) -> SessionRecord:
+        # Stable across processes (unlike builtin hash, which is salted).
+        key = f"{self.base_seed}|{tuner_name}|{workload}|{dataset}|{trial}"
+        seed = zlib.crc32(key.encode())
+        rng = np.random.default_rng(seed)
+        wl = get_workload(workload, dataset)
+        objective = WorkloadObjective(wl, self.space, cluster=self.cluster,
+                                      time_limit_s=self.time_limit_s,
+                                      rng=np.random.default_rng(seed + 1))
+        tuner = self._make_tuner(tuner_name, rng, stores)
+        result = tuner.tune(objective, self.budget, rng=rng)
+        return SessionRecord(
+            tuner=tuner_name, workload=workload, dataset=dataset, trial=trial,
+            best_time_s=result.best_time_s,
+            search_cost_s=result.search_cost_s,
+            selection_cost_s=result.selection_cost_s,
+            cache_hit=getattr(result, "selection_cache_hit", False),
+            curve=result.best_curve(),
+            exec_times=np.asarray([e.cost_s for e in result.evaluations]),
+            cores_mem=np.asarray(
+                [(e.config["spark.executor.cores"],
+                  e.config["spark.executor.memory"])
+                 for e in result.evaluations], dtype=float)
+            if result.evaluations else np.empty((0, 2)),
+            statuses=tuple(e.status.value for e in result.evaluations),
+            result=result if self.keep_results else None,
+        )

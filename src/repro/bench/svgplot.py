@@ -1,0 +1,247 @@
+"""Dependency-free SVG charts for the reproduced figures.
+
+matplotlib is not available offline, so the benchmark harness renders its
+figures as hand-built SVG: grouped bar charts (Figures 3/4), line charts
+(Figure 6), and heatmaps (Figure 9).  Output is valid standalone SVG 1.1
+viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+__all__ = ["svg_grouped_bars", "svg_line_chart", "svg_heatmap"]
+
+# A small colour-blind-friendly palette.
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00")
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+def _header(width: int, height: int, title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" {_FONT} '
+        f'font-size="14" font-weight="bold">{escape(title)}</text>',
+    ]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / n
+    mag = 10 ** math.floor(math.log10(raw))
+    step = min(s * mag for s in (1, 2, 5, 10) if s * mag >= raw)
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-9:
+        if t >= lo - 1e-9:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def svg_grouped_bars(groups: Sequence[str],
+                     series: Mapping[str, Sequence[float]], *,
+                     title: str = "", y_label: str = "",
+                     width: int = 900, height: int = 360,
+                     baseline: float | None = None) -> str:
+    """A grouped bar chart (one bar per series within each group).
+
+    ``baseline`` draws a horizontal reference line (e.g. 1.0 for
+    ratios scaled to Random Search).
+    """
+    series = {k: list(v) for k, v in series.items()}
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(f"series {name!r} has {len(vals)} values for "
+                             f"{len(groups)} groups")
+    if not groups or not series:
+        raise ValueError("need at least one group and one series")
+    ml, mr, mt, mb = 60, 20, 40, 70
+    pw, ph = width - ml - mr, height - mt - mb
+    vmax = max(max(v) for v in series.values())
+    if baseline is not None:
+        vmax = max(vmax, baseline)
+    vmax *= 1.1
+    out = _header(width, height, title)
+
+    # Axes and y ticks.
+    for t in _nice_ticks(0.0, vmax):
+        y = mt + ph - t / vmax * ph
+        out.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{width - mr}" '
+                   f'y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(f'<text x="{ml - 6}" y="{y + 4:.1f}" text-anchor="end" '
+                   f'{_FONT} font-size="10">{t:g}</text>')
+    gw = pw / len(groups)
+    bw = gw * 0.8 / len(series)
+    for gi, gname in enumerate(groups):
+        for si, (sname, vals) in enumerate(series.items()):
+            v = max(float(vals[gi]), 0.0)
+            h = v / vmax * ph
+            x = ml + gi * gw + gw * 0.1 + si * bw
+            y = mt + ph - h
+            color = PALETTE[si % len(PALETTE)]
+            out.append(f'<rect x="{x:.1f}" y="{y:.1f}" width="{bw:.1f}" '
+                       f'height="{h:.1f}" fill="{color}"/>')
+        gx = ml + gi * gw + gw / 2
+        out.append(f'<text x="{gx:.1f}" y="{mt + ph + 14}" '
+                   f'text-anchor="middle" {_FONT} font-size="9" '
+                   f'transform="rotate(35 {gx:.1f} {mt + ph + 14})">'
+                   f'{escape(str(gname))}</text>')
+    if baseline is not None:
+        y = mt + ph - baseline / vmax * ph
+        out.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{width - mr}" '
+                   f'y2="{y:.1f}" stroke="#333" stroke-dasharray="4 3"/>')
+    out.extend(_legend(series.keys(), ml, height - 16))
+    if y_label:
+        out.append(f'<text x="14" y="{mt + ph / 2}" {_FONT} font-size="11" '
+                   f'text-anchor="middle" '
+                   f'transform="rotate(-90 14 {mt + ph / 2})">'
+                   f'{escape(y_label)}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def svg_line_chart(series: Mapping[str, tuple[Sequence[float],
+                                              Sequence[float]]], *,
+                   title: str = "", x_label: str = "", y_label: str = "",
+                   width: int = 700, height: int = 380,
+                   log_y: bool = False) -> str:
+    """A multi-series line chart; each series is ``name: (xs, ys)``."""
+    if not series:
+        raise ValueError("need at least one series")
+    pts = {k: (np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+           for k, (x, y) in series.items()}
+    for name, (x, y) in pts.items():
+        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+            raise ValueError(f"series {name!r} malformed")
+    all_x = np.concatenate([x for x, _ in pts.values()])
+    all_y = np.concatenate([y for _, y in pts.values()])
+    finite = np.isfinite(all_y)
+    if not finite.any():
+        raise ValueError("no finite y values")
+    ylo, yhi = float(all_y[finite].min()), float(all_y[finite].max())
+    if log_y:
+        if ylo <= 0:
+            raise ValueError("log_y requires positive values")
+        ylo, yhi = math.log10(ylo), math.log10(yhi)
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    xlo, xhi = float(all_x.min()), float(all_x.max())
+    if xhi == xlo:
+        xhi = xlo + 1.0
+    ml, mr, mt, mb = 60, 20, 40, 60
+    pw, ph = width - ml - mr, height - mt - mb
+
+    def sx(v: float) -> float:
+        return ml + (v - xlo) / (xhi - xlo) * pw
+
+    def sy(v: float) -> float:
+        vv = math.log10(v) if log_y else v
+        return mt + ph - (vv - ylo) / (yhi - ylo) * ph
+
+    out = _header(width, height, title)
+    for t in _nice_ticks(ylo, yhi):
+        y = mt + ph - (t - ylo) / (yhi - ylo) * ph
+        label = f"{10 ** t:g}" if log_y else f"{t:g}"
+        out.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{width - mr}" '
+                   f'y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(f'<text x="{ml - 6}" y="{y + 4:.1f}" text-anchor="end" '
+                   f'{_FONT} font-size="10">{label}</text>')
+    for t in _nice_ticks(xlo, xhi):
+        x = sx(t)
+        out.append(f'<text x="{x:.1f}" y="{mt + ph + 16}" '
+                   f'text-anchor="middle" {_FONT} font-size="10">{t:g}</text>')
+    for si, (name, (x, y)) in enumerate(pts.items()):
+        color = PALETTE[si % len(PALETTE)]
+        ok = np.isfinite(y)
+        coords = " ".join(f"{sx(float(a)):.1f},{sy(float(b)):.1f}"
+                          for a, b in zip(x[ok], y[ok]))
+        out.append(f'<polyline points="{coords}" fill="none" '
+                   f'stroke="{color}" stroke-width="2"/>')
+    out.extend(_legend(pts.keys(), ml, height - 14))
+    if x_label:
+        out.append(f'<text x="{ml + pw / 2}" y="{mt + ph + 34}" '
+                   f'text-anchor="middle" {_FONT} font-size="11">'
+                   f'{escape(x_label)}</text>')
+    if y_label:
+        out.append(f'<text x="14" y="{mt + ph / 2}" {_FONT} font-size="11" '
+                   f'text-anchor="middle" '
+                   f'transform="rotate(-90 14 {mt + ph / 2})">'
+                   f'{escape(y_label)}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def svg_heatmap(values: np.ndarray, *, title: str = "",
+                x_labels: Sequence[str] | None = None,
+                y_labels: Sequence[str] | None = None,
+                invert: bool = True, width: int = 520,
+                height: int = 460,
+                points: np.ndarray | None = None) -> str:
+    """A heatmap; with ``invert`` low values render hot (good regions)."""
+    M = np.asarray(values, dtype=float)
+    if M.ndim != 2:
+        raise ValueError("values must be 2-D")
+    ml, mr, mt, mb = 60, 20, 40, 50
+    pw, ph = width - ml - mr, height - mt - mb
+    rows, cols = M.shape
+    cw, ch = pw / cols, ph / rows
+    lo, hi = float(np.nanmin(M)), float(np.nanmax(M))
+    span = hi - lo if hi > lo else 1.0
+    out = _header(width, height, title)
+    for r in range(rows):
+        for c in range(cols):
+            v = (M[r, c] - lo) / span
+            if invert:
+                v = 1.0 - v
+            # Blue (cold/slow) to warm yellow (fast).
+            red = int(255 * v)
+            green = int(220 * v * 0.9 + 20)
+            blue = int(180 * (1 - v) + 40)
+            x = ml + c * cw
+            y = mt + ph - (r + 1) * ch  # row 0 at the bottom
+            out.append(f'<rect x="{x:.1f}" y="{y:.1f}" width="{cw + 0.5:.1f}" '
+                       f'height="{ch + 0.5:.1f}" '
+                       f'fill="rgb({red},{green},{blue})"/>')
+    if points is not None:
+        for c, r in np.asarray(points, dtype=float):
+            x = ml + (c + 0.5) * cw
+            y = mt + ph - (r + 0.5) * ch
+            out.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                       f'fill="none" stroke="black" stroke-width="1.2"/>')
+    if x_labels is not None:
+        out.append(f'<text x="{ml}" y="{mt + ph + 16}" {_FONT} '
+                   f'font-size="10">{escape(str(x_labels[0]))}</text>')
+        out.append(f'<text x="{ml + pw}" y="{mt + ph + 16}" '
+                   f'text-anchor="end" {_FONT} font-size="10">'
+                   f'{escape(str(x_labels[-1]))}</text>')
+    if y_labels is not None:
+        out.append(f'<text x="{ml - 6}" y="{mt + ph}" text-anchor="end" '
+                   f'{_FONT} font-size="10">{escape(str(y_labels[0]))}</text>')
+        out.append(f'<text x="{ml - 6}" y="{mt + 10}" text-anchor="end" '
+                   f'{_FONT} font-size="10">{escape(str(y_labels[-1]))}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def _legend(names, x0: float, y: float) -> list[str]:
+    out = []
+    x = x0
+    for i, name in enumerate(names):
+        color = PALETTE[i % len(PALETTE)]
+        out.append(f'<rect x="{x}" y="{y - 9}" width="10" height="10" '
+                   f'fill="{color}"/>')
+        out.append(f'<text x="{x + 14}" y="{y}" {_FONT} font-size="11">'
+                   f'{escape(str(name))}</text>')
+        x += 14 + 7 * len(str(name)) + 18
+    return out

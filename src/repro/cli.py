@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the Table 1 workloads and datasets.
+``tune``
+    Run one ROBOTune session on a workload; optionally persist the
+    knowledge stores and write the best configuration as a
+    ``spark-defaults.conf`` file.
+``compare``
+    Compare ROBOTune with BestConfig / Gunther / Random Search.
+``importance``
+    Rank parameter groups for a workload (RF + grouped MDA).
+``simulate``
+    Execute one configuration on the simulated cluster and print the
+    per-stage breakdown and bottleneck profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .bench.reporting import format_table
+from .core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
+from .core.selection import ParameterSelector
+from .core.tuner import ROBOTune
+from .space.encoder import ConfigurationEncoder
+from .space.spark_params import spark_space
+from .sparksim.analysis import TraceAnalyzer
+from .sparksim.conf import SparkConf
+from .sparksim.simulator import SparkSimulator
+from .tuners.bestconfig import BestConfig
+from .tuners.gunther import Gunther
+from .tuners.objective import WorkloadObjective
+from .tuners.random_search import RandomSearch
+from .workloads.datasets import DATASET_LABELS, SCALE_UNITS, TABLE1
+from .workloads.registry import WORKLOADS, get_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ROBOTune reproduction: tune simulated Spark workloads.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list Table 1 workloads and datasets")
+
+    p_tune = sub.add_parser("tune", help="run one ROBOTune session")
+    _common(p_tune)
+    p_tune.add_argument("--metric", default="time",
+                        choices=["time", "core_seconds"],
+                        help="objective to minimize")
+    p_tune.add_argument("--store-dir", default=None,
+                        help="directory for persistent JSON knowledge stores")
+    p_tune.add_argument("--emit-conf", default=None, metavar="FILE",
+                        help="write the best configuration as "
+                             "spark-defaults.conf text")
+
+    p_cmp = sub.add_parser("compare", help="compare the four tuners")
+    _common(p_cmp)
+    p_cmp.add_argument("--trials", type=int, default=1)
+
+    p_imp = sub.add_parser("importance", help="rank parameter importance")
+    _common(p_imp)
+    p_imp.add_argument("--samples", type=int, default=100)
+    p_imp.add_argument("--top", type=int, default=12)
+
+    p_sim = sub.add_parser("simulate", help="run one configuration")
+    _common(p_sim)
+    p_sim.add_argument("--conf", default=None, metavar="FILE",
+                       help="spark-defaults.conf file (default: Spark "
+                            "defaults)")
+    p_sim.add_argument("--set", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="override single parameters (repeatable)")
+    return parser
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="pagerank",
+                   help="workload name or abbreviation (PR/KM/CC/LR/TS)")
+    p.add_argument("--dataset", default="D1", choices=list(DATASET_LABELS))
+    p.add_argument("--budget", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+
+
+# -- commands ----------------------------------------------------------------------
+def cmd_workloads(args) -> int:
+    rows = [(WORKLOADS[name].abbrev, name,
+             ", ".join(f"{d.scale:g}" for d in datasets),
+             SCALE_UNITS[name])
+            for name, datasets in TABLE1.items()]
+    print(format_table(["Abbrev", "Workload", "D1, D2, D3", "Unit"], rows,
+                       title="Table 1: workloads and datasets"))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    space = spark_space()
+    workload = get_workload(args.workload, args.dataset)
+    objective = WorkloadObjective(workload, space, rng=args.seed,
+                                  metric=args.metric)
+    cache = memo = None
+    if args.store_dir:
+        store = Path(args.store_dir)
+        store.mkdir(parents=True, exist_ok=True)
+        cache = ParameterSelectionCache(store / "selection_cache.json")
+        memo = ConfigMemoizationBuffer(store / "memo_buffer.json")
+    tuner = ROBOTune(selection_cache=cache, memo_buffer=memo, rng=args.seed)
+    result = tuner.tune(objective, args.budget, rng=args.seed)
+
+    print(f"workload:        {workload.full_key}")
+    print(f"selection:       {'cache hit' if result.selection_cache_hit else 'cold'}"
+          f" ({result.selection_cost_s / 60:.1f} min one-time cost)")
+    print(f"selected params: {', '.join(result.selected_parameters)}")
+    print(f"evaluations:     {result.n_evaluations} "
+          f"(search cost {result.search_cost_s / 60:.1f} min)")
+    print(f"best objective:  {result.best_time_s:.1f} "
+          f"({'s' if args.metric == 'time' else args.metric})")
+    if args.emit_conf:
+        encoder = ConfigurationEncoder(space)
+        Path(args.emit_conf).write_text(
+            encoder.to_conf_file(result.best_config))
+        print(f"best config written to {args.emit_conf}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    space = spark_space()
+    tuners = {"ROBOTune": lambda s: ROBOTune(rng=s),
+              "BestConfig": lambda s: BestConfig(),
+              "Gunther": lambda s: Gunther(),
+              "RandomSearch": lambda s: RandomSearch()}
+    rows = []
+    baseline_cost = baseline_best = None
+    for name, make in tuners.items():
+        bests, costs = [], []
+        for t in range(args.trials):
+            seed = args.seed * 997 + t
+            objective = WorkloadObjective(
+                get_workload(args.workload, args.dataset), space,
+                rng=seed + 1)
+            res = make(seed).tune(objective, args.budget, rng=seed)
+            bests.append(res.best_time_s)
+            costs.append(res.search_cost_s)
+        rows.append([name, float(np.mean(bests)),
+                     float(np.mean(costs)) / 60.0])
+        if name == "RandomSearch":
+            baseline_best, baseline_cost = rows[-1][1], rows[-1][2]
+    for row in rows:
+        row.append(row[1] / baseline_best)
+        row.append(row[2] / baseline_cost)
+    print(format_table(
+        ["Tuner", "best (s)", "cost (min)", "best/RS", "cost/RS"], rows,
+        title=f"{args.workload}/{args.dataset}, budget {args.budget}, "
+              f"{args.trials} trial(s)"))
+    return 0
+
+
+def cmd_importance(args) -> int:
+    space = spark_space()
+    workload = get_workload(args.workload, args.dataset)
+    objective = WorkloadObjective(workload, space, rng=args.seed)
+    selector = ParameterSelector(n_samples=args.samples, rng=args.seed)
+    result = selector.select(space, selector.collect(objective, space))
+    rows = [(g.group, g.importance, g.std,
+             "selected" if g.group in result.selected_groups else "")
+            for g in result.importances[: args.top]]
+    print(format_table(
+        ["Parameter group", "MDA importance", "std", ""], rows,
+        title=f"{workload.full_key}: top {args.top} groups "
+              f"(OOB R2={result.oob_r2:.2f})", float_fmt="{:.3f}"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    space = spark_space()
+    workload = get_workload(args.workload, args.dataset)
+    native: dict = {}
+    if args.conf:
+        encoder = ConfigurationEncoder(space)
+        strings = encoder.parse_conf_file(Path(args.conf).read_text())
+        native = _strings_to_native(strings, space)
+    for pair in args.set:
+        if "=" not in pair:
+            print(f"error: --set expects KEY=VALUE, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        key, value = pair.split("=", 1)
+        native[key] = _coerce(space, key, value)
+    result = SparkSimulator().run(workload.build_stages(), SparkConf(native),
+                                  rng=args.seed)
+    print(f"{workload.full_key}: {result.status.value} "
+          f"in {result.duration_s:.1f}s")
+    if not result.ok:
+        print(f"  reason: {result.failure_reason}")
+        return 1
+    rows = [(s.name, s.duration_s, s.tasks, s.waves, s.gc_factor,
+             f"{s.cache_hit_fraction:.0%}")
+            for s in result.stages]
+    print(format_table(
+        ["Stage", "seconds", "tasks", "waves", "gc", "cache hit"], rows))
+    print("\n" + TraceAnalyzer().analyze(result).describe())
+    return 0
+
+
+def _strings_to_native(strings: dict[str, str], space) -> dict:
+    native = {}
+    for key, raw in strings.items():
+        native[key] = _coerce(space, key, raw)
+    return native
+
+
+def _coerce(space, key: str, raw: str):
+    """Parse a config-file string back to a native parameter value."""
+    if key not in space:
+        raise KeyError(f"unknown Spark parameter {key!r}")
+    param = space[key]
+    text = raw.strip()
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    # Strip a size/time suffix when the parameter carries a unit.
+    unit = getattr(param, "unit", None)
+    if unit is not None and text.endswith(unit):
+        text = text[: -len(unit)]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "tune": cmd_tune,
+    "compare": cmd_compare,
+    "importance": cmd_importance,
+    "simulate": cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

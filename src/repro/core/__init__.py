@@ -1,0 +1,40 @@
+"""ROBOTune core: BO engine, GP-Hedge, parameter selection, memoization."""
+
+from .acquisition import (
+    DEFAULT_KAPPA,
+    DEFAULT_XI,
+    AcquisitionFunction,
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+)
+from .bo import BOEngine, BOIterationRecord
+from .guard import MedianGuard
+from .hedge import GPHedge, HedgeChoice
+from .memo import ConfigMemoizationBuffer, MemoizedConfig, ParameterSelectionCache
+from .selection import ParameterSelector, SelectionResult
+from .transfer import MappingResult, WorkloadMapper
+from .tuner import ROBOTune, ROBOTuneResult
+
+__all__ = [
+    "AcquisitionFunction",
+    "ProbabilityOfImprovement",
+    "ExpectedImprovement",
+    "LowerConfidenceBound",
+    "DEFAULT_XI",
+    "DEFAULT_KAPPA",
+    "GPHedge",
+    "HedgeChoice",
+    "BOEngine",
+    "BOIterationRecord",
+    "MedianGuard",
+    "ParameterSelectionCache",
+    "ConfigMemoizationBuffer",
+    "MemoizedConfig",
+    "ParameterSelector",
+    "SelectionResult",
+    "WorkloadMapper",
+    "MappingResult",
+    "ROBOTune",
+    "ROBOTuneResult",
+]

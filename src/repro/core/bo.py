@@ -1,0 +1,226 @@
+"""The Bayesian-optimization engine (paper Algorithm 1).
+
+Given prior observations, iterate: fit a GP surrogate, let every
+acquisition function in the GP-Hedge portfolio nominate a point, evaluate
+the probabilistically chosen nominee, augment the priors, and update the
+portfolio's gains — until the evaluation budget is exhausted.
+
+Acquisition optimization follows the implementation notes in §4: a
+space-filling candidate sweep (vectorized GP prediction over an LHS design
+plus exploitation candidates jittered around the incumbent) seeds an
+L-BFGS-B refinement of the best candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..gp.gpr import GaussianProcessRegressor, default_bo_kernel
+from ..gp.kernels import Kernel
+from ..sampling.lhs import latin_hypercube
+from ..space.space import ConfigSpace
+from ..tuners.base import Evaluation
+from ..utils.rng import as_generator
+from .guard import MedianGuard
+from .hedge import GPHedge
+
+__all__ = ["BOEngine", "BOIterationRecord"]
+
+
+@dataclass(frozen=True)
+class BOIterationRecord:
+    """Diagnostics for one BO iteration (used by Figures 8/9)."""
+
+    iteration: int
+    chosen_acquisition: str
+    probabilities: np.ndarray
+    point: np.ndarray
+    objective: float
+
+
+class BOEngine:
+    """GP + GP-Hedge minimization loop.
+
+    Parameters
+    ----------
+    kernel:
+        GP covariance template; defaults to Matérn 5/2 + white noise.
+    hedge:
+        Acquisition portfolio; defaults to PI/EI/LCB with paper knobs.
+    n_candidates:
+        LHS candidates swept per acquisition optimization.
+    hyperopt_every:
+        Re-optimize GP hyperparameters every k-th new observation (the
+        Cholesky refit happens every iteration regardless).
+    refine:
+        Run L-BFGS-B from the best candidate (set False for speed in
+        large ablation sweeps).
+    early_stop_patience:
+        Stop when the incumbent has not improved for this many
+        iterations (None = always spend the full budget).
+    """
+
+    def __init__(self, *, kernel: Kernel | None = None,
+                 hedge: GPHedge | None = None, n_candidates: int = 512,
+                 hyperopt_every: int = 5, refine: bool = True,
+                 early_stop_patience: int | None = None,
+                 rng: np.random.Generator | int | None = None):
+        if n_candidates < 8:
+            raise ValueError("n_candidates must be >= 8")
+        if hyperopt_every < 1:
+            raise ValueError("hyperopt_every must be >= 1")
+        self._kernel_template = kernel or default_bo_kernel()
+        self._rng = as_generator(rng)
+        self.hedge = hedge or GPHedge(rng=self._rng)
+        self.n_candidates = n_candidates
+        self.hyperopt_every = hyperopt_every
+        self.refine = refine
+        self.early_stop_patience = early_stop_patience
+        self.records: list[BOIterationRecord] = []
+        self._theta: np.ndarray | None = None
+        self.last_gp: GaussianProcessRegressor | None = None
+
+    # -- main loop -----------------------------------------------------------------
+    def minimize(self, evaluate: Callable[[np.ndarray, float | None], Evaluation],
+                 space: ConfigSpace, initial: Sequence[Evaluation],
+                 budget: int, guard: MedianGuard | None = None,
+                 ) -> list[Evaluation]:
+        """Run the BO loop; returns the evaluations it performed.
+
+        Parameters
+        ----------
+        evaluate:
+            ``(unit_vector, kill_threshold_or_None) -> Evaluation``.
+        space:
+            The (reduced) tuning space; vectors are snapped onto native
+            value grid-cells before evaluation so the surrogate's inputs
+            match what actually ran.
+        initial:
+            Prior observations (the memoized-sampling training set);
+            **not** re-evaluated and not counted against *budget*.
+        budget:
+            Number of new expensive evaluations to perform.
+        guard:
+            Median-multiple kill-threshold tracker; initial observations
+            are fed to it first.
+        """
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        evals: list[Evaluation] = []
+        X = [np.asarray(e.vector, dtype=float) for e in initial]
+        y = [float(e.objective) for e in initial]
+        if guard is not None:
+            for e in initial:
+                guard.observe(e.cost_s, e.ok)
+        if not X:
+            raise ValueError("BO requires at least one prior observation")
+
+        since_improve = 0
+        best_so_far = min(y)
+        for it in range(budget):
+            gp = self._fit_gp(np.vstack(X), np.asarray(y), len(evals))
+            nominees = self._nominate(gp, np.asarray(y), space)
+            choice = self.hedge.choose(nominees)
+            u = space.snap(choice.nominees[choice.chosen_index])
+
+            threshold = guard.threshold_s() if guard is not None else None
+            ev = evaluate(u, threshold)
+            evals.append(ev)
+            X.append(np.asarray(ev.vector, dtype=float))
+            y.append(float(ev.objective))
+            if guard is not None:
+                guard.observe(ev.cost_s, ev.ok)
+
+            # Refit (cheap) and update Hedge gains with the posterior mean
+            # at every nominee, standardized and negated for minimization.
+            gp2 = self._fit_gp(np.vstack(X), np.asarray(y), None)
+            mu = gp2.predict(choice.nominees)
+            y_arr = np.asarray(y)
+            std = float(y_arr.std()) or 1.0
+            self.hedge.update(-(mu - y_arr.mean()) / std)
+
+            self.records.append(BOIterationRecord(
+                iteration=it, chosen_acquisition=choice.chosen_name,
+                probabilities=choice.probabilities, point=u,
+                objective=ev.objective))
+
+            if ev.objective < best_so_far - 1e-9:
+                best_so_far = ev.objective
+                since_improve = 0
+            else:
+                since_improve += 1
+                if (self.early_stop_patience is not None
+                        and since_improve >= self.early_stop_patience):
+                    break
+        return evals
+
+    # -- internals ------------------------------------------------------------------
+    def _fit_gp(self, X: np.ndarray, y: np.ndarray,
+                n_new: int | None) -> GaussianProcessRegressor:
+        """Fit the surrogate; full hyperparameter optimization only on
+        schedule (n_new is None for the cheap refit after an evaluation)."""
+        full = n_new is not None and (self._theta is None
+                                      or n_new % self.hyperopt_every == 0)
+        gp = GaussianProcessRegressor(kernel=self._kernel_template,
+                                      normalize_y=True, optimize=full,
+                                      n_restarts=2, rng=self._rng)
+        if not full and self._theta is not None:
+            gp.kernel.theta = self._theta
+        gp.fit(X, y)
+        if full:
+            self._theta = gp.kernel.theta
+        self.last_gp = gp
+        return gp
+
+    def _standardized(self, gp: GaussianProcessRegressor, y: np.ndarray,
+                      U: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        """(mu, sigma, f_best) on the standardized objective scale."""
+        mu, sigma = gp.predict(U, return_std=True)
+        mean = float(y.mean())
+        std = float(y.std()) or 1.0
+        ok = y  # censored objectives included: failures repel the search
+        f_best = (float(ok.min()) - mean) / std
+        return (mu - mean) / std, sigma / std, f_best
+
+    def _nominate(self, gp: GaussianProcessRegressor, y: np.ndarray,
+                  space: ConfigSpace) -> np.ndarray:
+        """One proposed point per portfolio acquisition function."""
+        dim = space.dim
+        cands = latin_hypercube(self.n_candidates, dim, self._rng)
+        # Exploitation candidates: jitter around the best observed points.
+        X_obs = gp.X_train_
+        order = np.argsort(y)[: max(3, dim)]
+        local = X_obs[order] + self._rng.normal(0.0, 0.05,
+                                                size=(len(order), dim))
+        U = np.clip(np.vstack([cands, local]), 0.0, 1.0)
+        mu, sigma, f_best = self._standardized(gp, y, U)
+
+        mean = float(y.mean())
+        std = float(y.std()) or 1.0
+        nominees = np.empty((len(self.hedge.functions), dim))
+        for i, acq in enumerate(self.hedge.functions):
+            util = acq(mu, sigma, f_best)
+            start = U[int(np.argmax(util))]
+            nominees[i] = self._refine(acq, gp, start, f_best, mean, std) \
+                if self.refine else start
+        return nominees
+
+    def _refine(self, acq, gp: GaussianProcessRegressor, start: np.ndarray,
+                f_best: float, mean: float, std: float) -> np.ndarray:
+        """L-BFGS-B polish of a candidate under one acquisition (§4)."""
+
+        def neg_util(u: np.ndarray) -> float:
+            m, s = gp.predict(u[None, :], return_std=True)
+            mu_n = (float(m[0]) - mean) / std
+            sigma_n = float(s[0]) / std
+            return -float(acq(np.array([mu_n]), np.array([sigma_n]), f_best)[0])
+
+        res = minimize(neg_util, start, method="L-BFGS-B",
+                       bounds=[(0.0, 1.0)] * len(start),
+                       options={"maxiter": 25})
+        return np.clip(res.x, 0.0, 1.0) if res.success or res.fun < neg_util(start) \
+            else start

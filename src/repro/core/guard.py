@@ -1,0 +1,53 @@
+"""Guard against bad configurations (paper §4).
+
+During the execution of initial samples a static cap applies; during the
+BO search, a configurable multiple of the *median* observed execution time
+is used as the kill threshold for imbalanced configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MedianGuard"]
+
+
+class MedianGuard:
+    """Kill threshold = ``multiplier × median(successful times)``.
+
+    Parameters
+    ----------
+    multiplier:
+        How many medians a run may take before being stopped.
+    static_limit_s:
+        Hard upper bound (the evaluation cap); the guard never exceeds it.
+    min_observations:
+        Observations required before the median rule activates; until
+        then the static limit applies.
+    """
+
+    def __init__(self, multiplier: float = 3.0,
+                 static_limit_s: float | None = None, *,
+                 min_observations: int = 5):
+        if multiplier <= 1.0:
+            raise ValueError("multiplier must exceed 1")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.multiplier = float(multiplier)
+        self.static_limit_s = static_limit_s
+        self.min_observations = min_observations
+        self._times: list[float] = []
+
+    def observe(self, duration_s: float, ok: bool) -> None:
+        """Record a finished evaluation (only successes shape the median)."""
+        if ok:
+            self._times.append(float(duration_s))
+
+    def threshold_s(self) -> float | None:
+        """Current kill threshold, or None for "no limit"."""
+        if len(self._times) < self.min_observations:
+            return self.static_limit_s
+        t = float(np.median(self._times)) * self.multiplier
+        if self.static_limit_s is not None:
+            t = min(t, self.static_limit_s)
+        return t

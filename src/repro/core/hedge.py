@@ -1,0 +1,91 @@
+"""GP-Hedge: an adaptive portfolio of acquisition functions.
+
+Implements the Hedge strategy of Hoffman, Brochu & de Freitas (UAI 2011)
+the paper adopts (§3.4): each iteration every acquisition function
+nominates a candidate; one nominee is chosen with probability
+``softmax(eta * gains)``; after the chosen point is evaluated and the GP
+refit, each function's gain is updated with the (negated, since we
+minimize) posterior mean at *its own* nominee — functions whose proposals
+look good in hindsight earn probability mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import as_generator
+from .acquisition import (AcquisitionFunction, ExpectedImprovement,
+                          LowerConfidenceBound, ProbabilityOfImprovement)
+
+__all__ = ["GPHedge", "HedgeChoice"]
+
+
+@dataclass(frozen=True)
+class HedgeChoice:
+    """One Hedge decision: which function won and everyone's nominees."""
+
+    chosen_index: int
+    chosen_name: str
+    nominees: np.ndarray       # shape (n_functions, dim)
+    probabilities: np.ndarray  # shape (n_functions,)
+
+
+class GPHedge:
+    """Adaptive portfolio over PI, EI and LCB (or any custom set).
+
+    Parameters
+    ----------
+    functions:
+        The portfolio; defaults to the paper's three.
+    eta:
+        Hedge learning rate on the cumulative (standardized) gains.
+    """
+
+    def __init__(self, functions: list[AcquisitionFunction] | None = None,
+                 *, eta: float = 1.0,
+                 rng: np.random.Generator | int | None = None):
+        if functions is None:
+            functions = [ProbabilityOfImprovement(), ExpectedImprovement(),
+                         LowerConfidenceBound()]
+        if not functions:
+            raise ValueError("portfolio must contain at least one function")
+        self.functions = list(functions)
+        if eta <= 0:
+            raise ValueError("eta must be positive")
+        self.eta = float(eta)
+        self.gains = np.zeros(len(self.functions))
+        self._rng = as_generator(rng)
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self.functions]
+
+    def probabilities(self) -> np.ndarray:
+        """Current selection distribution: softmax(eta * gains)."""
+        z = self.eta * (self.gains - self.gains.max())
+        p = np.exp(z)
+        return p / p.sum()
+
+    def choose(self, nominees: np.ndarray) -> HedgeChoice:
+        """Pick one nominee (rows aligned with the portfolio)."""
+        nominees = np.asarray(nominees, dtype=float)
+        if nominees.shape[0] != len(self.functions):
+            raise ValueError("one nominee row per portfolio function required")
+        p = self.probabilities()
+        idx = int(self._rng.choice(len(self.functions), p=p))
+        return HedgeChoice(chosen_index=idx,
+                           chosen_name=self.functions[idx].name,
+                           nominees=nominees, probabilities=p)
+
+    def update(self, rewards: np.ndarray) -> None:
+        """Add per-function rewards (higher = that nominee looked better).
+
+        For minimization the caller passes ``-mu`` of the refit GP at each
+        nominee, standardized so the learning rate is scale-free.
+        """
+        rewards = np.asarray(rewards, dtype=float)
+        if rewards.shape != self.gains.shape:
+            raise ValueError("rewards must match the portfolio size")
+        self.gains += rewards

@@ -1,0 +1,126 @@
+"""Memoized sampling's two stores (paper §3.2, Figure 1).
+
+* :class:`ParameterSelectionCache` — workload → high-impact parameter
+  names.  A hit skips the expensive 100-sample selection phase entirely
+  (high-impact parameters are stable across dataset sizes for the same
+  workload).
+* :class:`ConfigMemoizationBuffer` — workload → a few best recent
+  configurations from completed tuning sessions.  When the same workload
+  returns with a different input, the best ones seed the BO training set
+  ("Best Recent Configs"), steering the GP toward known high-performing
+  regions immediately.
+
+Both stores are keyed by the workload identity *without* the dataset and
+both persist to JSON so tuning sessions in different processes share
+knowledge, like the paper's long-running tuning service.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["ParameterSelectionCache", "ConfigMemoizationBuffer", "MemoizedConfig"]
+
+
+@dataclass(frozen=True)
+class MemoizedConfig:
+    """One remembered configuration and the time it achieved."""
+
+    config: dict[str, Any]
+    objective: float
+    dataset: str = ""
+
+
+class ParameterSelectionCache:
+    """Workload → selected high-impact parameter names."""
+
+    def __init__(self, path: str | Path | None = None):
+        self._path = Path(path) if path is not None else None
+        self._table: dict[str, list[str]] = {}
+        if self._path is not None and self._path.exists():
+            self._table = {str(k): [str(p) for p in v]
+                           for k, v in json.loads(self._path.read_text()).items()}
+
+    def get(self, workload: str) -> list[str] | None:
+        """Selected parameters on a hit, None on a miss."""
+        params = self._table.get(workload)
+        return list(params) if params is not None else None
+
+    def put(self, workload: str, parameters: list[str]) -> None:
+        if not parameters:
+            raise ValueError("refusing to cache an empty selection")
+        self._table[workload] = list(parameters)
+        self._flush()
+
+    def invalidate(self, workload: str) -> None:
+        """Drop a workload's entry (e.g. after a cluster change)."""
+        self._table.pop(workload, None)
+        self._flush()
+
+    def __contains__(self, workload: str) -> bool:
+        return workload in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def _flush(self) -> None:
+        if self._path is not None:
+            self._path.write_text(json.dumps(self._table, indent=2))
+
+
+class ConfigMemoizationBuffer:
+    """Workload → best recent configurations from prior sessions.
+
+    Keeps at most ``capacity`` entries per workload, best objective first;
+    inserting a worse-than-worst config into a full buffer is a no-op.
+    """
+
+    def __init__(self, path: str | Path | None = None, *, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._path = Path(path) if path is not None else None
+        self._table: dict[str, list[MemoizedConfig]] = {}
+        if self._path is not None and self._path.exists():
+            raw = json.loads(self._path.read_text())
+            self._table = {
+                k: [MemoizedConfig(m["config"], float(m["objective"]),
+                                   m.get("dataset", ""))
+                    for m in v]
+                for k, v in raw.items()
+            }
+
+    def add(self, workload: str, config: Mapping[str, Any], objective: float,
+            *, dataset: str = "") -> None:
+        """Record a tuned configuration and its achieved time."""
+        entry = MemoizedConfig(dict(config), float(objective), dataset)
+        bucket = self._table.setdefault(workload, [])
+        bucket.append(entry)
+        bucket.sort(key=lambda m: m.objective)
+        del bucket[self.capacity:]
+        self._flush()
+
+    def best(self, workload: str, k: int = 4) -> list[MemoizedConfig]:
+        """Up to *k* best remembered configs (empty list on a miss)."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        return list(self._table.get(workload, ()))[:k]
+
+    def __contains__(self, workload: str) -> bool:
+        return bool(self._table.get(workload))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def _flush(self) -> None:
+        if self._path is None:
+            return
+        raw = {
+            k: [{"config": m.config, "objective": m.objective,
+                 "dataset": m.dataset} for m in v]
+            for k, v in self._table.items()
+        }
+        self._path.write_text(json.dumps(raw, indent=2))

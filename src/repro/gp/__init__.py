@@ -1,0 +1,24 @@
+"""Gaussian-process substrate: kernels and exact GP regression."""
+
+from .kernels import (
+    ConstantKernel,
+    Kernel,
+    Matern52,
+    Product,
+    RBF,
+    Sum,
+    WhiteKernel,
+)
+from .gpr import GaussianProcessRegressor, default_bo_kernel
+
+__all__ = [
+    "Kernel",
+    "ConstantKernel",
+    "RBF",
+    "Matern52",
+    "WhiteKernel",
+    "Sum",
+    "Product",
+    "GaussianProcessRegressor",
+    "default_bo_kernel",
+]

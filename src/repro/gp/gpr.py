@@ -1,0 +1,184 @@
+"""Gaussian-process regression with marginal-likelihood hyperparameter fit.
+
+The surrogate model of the paper's BO engine (§3.4).  Given observations
+``(X, y)`` and a kernel, the posterior at any point is a normal
+distribution whose mean is the model's estimate of the objective and whose
+variance quantifies uncertainty.  Kernel hyperparameters are chosen by
+maximizing the log marginal likelihood with L-BFGS-B (multi-start).
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.optimize import minimize
+
+from ..utils.rng import as_generator
+from .kernels import ConstantKernel, Kernel, Matern52, WhiteKernel
+
+__all__ = ["GaussianProcessRegressor", "default_bo_kernel"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def default_bo_kernel() -> Kernel:
+    """The paper's kernel: scaled Matérn 5/2 plus white observation noise."""
+    return ConstantKernel(1.0) * Matern52(0.5, bounds=(1e-2, 1e2)) \
+        + WhiteKernel(1e-2, bounds=(1e-6, 1e1))
+
+
+class GaussianProcessRegressor:
+    """GP regression on the unit hypercube.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to :func:`default_bo_kernel`.  The
+        instance is deep-copied so callers can reuse kernel templates.
+    alpha:
+        Jitter added to the training covariance diagonal for numerical
+        stability (on top of any white-noise kernel).
+    normalize_y:
+        Standardize targets to zero mean / unit variance internally;
+        predictions are transformed back.  Recommended when objective
+        magnitudes vary wildly across workloads.
+    n_restarts:
+        Random restarts (beyond the incumbent theta) for the marginal
+        likelihood optimization.
+    optimize:
+        If False, keep the kernel's current hyperparameters (useful for
+        tests and for very small training sets).
+    """
+
+    def __init__(self, kernel: Kernel | None = None, *, alpha: float = 1e-10,
+                 normalize_y: bool = True, n_restarts: int = 2,
+                 optimize: bool = True,
+                 rng: np.random.Generator | int | None = None):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.kernel = copy.deepcopy(kernel) if kernel is not None \
+            else default_bo_kernel()
+        self.alpha = alpha
+        self.normalize_y = normalize_y
+        self.n_restarts = n_restarts
+        self.optimize = optimize
+        self.rng = rng
+        self._fitted = False
+
+    # -- fitting ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-D with len(y) == len(X)")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._X = X
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std())
+            if self._y_std == 0.0:
+                self._y_std = 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._y = (y - self._y_mean) / self._y_std
+
+        if self.optimize and X.shape[0] >= 2:
+            self._optimize_theta()
+        self._precompute()
+        self._fitted = True
+        return self
+
+    def _nll(self, theta: np.ndarray) -> float:
+        """Negative log marginal likelihood at the given hyperparameters."""
+        self.kernel.theta = theta
+        K = self.kernel(self._X) + self.alpha * np.eye(self._X.shape[0])
+        try:
+            L = cho_factor(K, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e25
+        a = cho_solve(L, self._y)
+        n = self._X.shape[0]
+        logdet = 2.0 * float(np.sum(np.log(np.diag(L[0]))))
+        return 0.5 * float(self._y @ a) + 0.5 * logdet + 0.5 * n * _LOG_2PI
+
+    def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
+        """Log marginal likelihood at *theta* (default: current kernel)."""
+        if theta is None:
+            theta = self.kernel.theta
+        saved = self.kernel.theta
+        try:
+            return -self._nll(np.asarray(theta, dtype=float))
+        finally:
+            self.kernel.theta = saved
+
+    def _optimize_theta(self) -> None:
+        rng = as_generator(self.rng)
+        bounds = self.kernel.bounds
+        starts = [self.kernel.theta]
+        for _ in range(self.n_restarts):
+            starts.append(rng.uniform(bounds[:, 0], bounds[:, 1]))
+        best_theta, best_nll = self.kernel.theta, np.inf
+        for start in starts:
+            res = minimize(self._nll, start, method="L-BFGS-B",
+                           bounds=bounds, options={"maxiter": 100})
+            if res.fun < best_nll:
+                best_nll, best_theta = float(res.fun), res.x
+        self.kernel.theta = best_theta
+
+    def _precompute(self) -> None:
+        K = self.kernel(self._X) + self.alpha * np.eye(self._X.shape[0])
+        # Escalate jitter if the optimized kernel is barely positive definite.
+        jitter = self.alpha if self.alpha > 0 else 1e-10
+        for _ in range(8):
+            try:
+                self._chol = cho_factor(K + 0.0, lower=True)
+                break
+            except np.linalg.LinAlgError:
+                K = K + jitter * np.eye(K.shape[0])
+                jitter *= 10.0
+        else:  # pragma: no cover - pathological kernels only
+            raise np.linalg.LinAlgError("covariance matrix not positive definite")
+        self._weights = cho_solve(self._chol, self._y)
+
+    # -- prediction ---------------------------------------------------------------
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        """Posterior mean (and optionally standard deviation) at *X*.
+
+        The white-noise component contributes to training covariance but
+        not to cross covariance, so the returned std is the uncertainty of
+        the latent objective, not of a noisy observation.
+        """
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
+            raise ValueError(f"X must have shape (n, {self._X.shape[1]})")
+        Ks = self.kernel(X, self._X)
+        mean = Ks @ self._weights
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = cho_solve(self._chol, Ks.T)
+        var = self.kernel.latent_diag(X) - np.einsum("ij,ji->i", Ks, v)
+        var = np.maximum(var, 1e-12)
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    @property
+    def X_train_(self) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted")
+        return self._X
+
+    @property
+    def y_train_(self) -> np.ndarray:
+        """Training targets in original (denormalized) units."""
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted")
+        return self._y * self._y_std + self._y_mean

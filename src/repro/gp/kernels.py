@@ -1,0 +1,261 @@
+"""Covariance kernels for Gaussian-process regression.
+
+The paper's BO engine uses the sum of a Matérn 5/2 kernel and a white-noise
+kernel (§4, "Bayesian Optimization"), the standard choice for modelling
+practical performance functions (Snoek et al., 2012).  Kernels expose their
+hyperparameters as a log-scale vector ``theta`` with box ``bounds`` so the
+regressor can optimize the marginal likelihood with L-BFGS-B.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "ConstantKernel",
+    "RBF",
+    "Matern52",
+    "WhiteKernel",
+    "Sum",
+    "Product",
+]
+
+
+def _cdist_sq(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between rows of X and Y."""
+    xx = np.sum(X ** 2, axis=1)[:, None]
+    yy = np.sum(Y ** 2, axis=1)[None, :]
+    d2 = xx + yy - 2.0 * (X @ Y.T)
+    return np.maximum(d2, 0.0)
+
+
+class Kernel(ABC):
+    """Base covariance function with log-parameterized hyperparameters."""
+
+    @abstractmethod
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix ``k(X, Y)`` (``Y=None`` means ``k(X, X)``)."""
+
+    @abstractmethod
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of ``k(X, X)`` without forming the full matrix."""
+
+    def latent_diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of the *noise-free* prior covariance at X.
+
+        Identical to :meth:`diag` except that white-noise components
+        contribute zero, so GP predictive variance derived from it reflects
+        the latent objective rather than a noisy observation.
+        """
+        return self.diag(X)
+
+    @property
+    @abstractmethod
+    def theta(self) -> np.ndarray:
+        """Current hyperparameters in log space."""
+
+    @theta.setter
+    @abstractmethod
+    def theta(self, value: np.ndarray) -> None: ...
+
+    @property
+    @abstractmethod
+    def bounds(self) -> np.ndarray:
+        """Log-space box bounds, shape ``(len(theta), 2)``."""
+
+    # -- composition -------------------------------------------------------------
+    def __add__(self, other: "Kernel") -> "Sum":
+        return Sum(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Product":
+        return Product(self, other)
+
+
+class ConstantKernel(Kernel):
+    """Constant (signal-variance) kernel: ``k(x, x') = value``."""
+
+    def __init__(self, value: float = 1.0,
+                 bounds: tuple[float, float] = (1e-4, 1e4)):
+        if value <= 0:
+            raise ValueError("value must be positive")
+        self.value = float(value)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    def __call__(self, X, Y=None):
+        Y = X if Y is None else Y
+        return np.full((X.shape[0], Y.shape[0]), self.value)
+
+    def diag(self, X):
+        return np.full(X.shape[0], self.value)
+
+    @property
+    def theta(self):
+        return np.array([math.log(self.value)])
+
+    @theta.setter
+    def theta(self, value):
+        self.value = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        return np.log(np.array([self._bounds]))
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel with an isotropic length scale."""
+
+    def __init__(self, length_scale: float = 1.0,
+                 bounds: tuple[float, float] = (1e-3, 1e3)):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        self.length_scale = float(length_scale)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    def __call__(self, X, Y=None):
+        Y = X if Y is None else Y
+        d2 = _cdist_sq(X / self.length_scale, Y / self.length_scale)
+        return np.exp(-0.5 * d2)
+
+    def diag(self, X):
+        return np.ones(X.shape[0])
+
+    @property
+    def theta(self):
+        return np.array([math.log(self.length_scale)])
+
+    @theta.setter
+    def theta(self, value):
+        self.length_scale = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        return np.log(np.array([self._bounds]))
+
+
+class Matern52(Kernel):
+    """Matérn kernel with smoothness ν = 5/2 (twice differentiable).
+
+    ``k(r) = (1 + √5 r/ℓ + 5 r² / (3 ℓ²)) exp(-√5 r/ℓ)``
+    """
+
+    def __init__(self, length_scale: float = 1.0,
+                 bounds: tuple[float, float] = (1e-3, 1e3)):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        self.length_scale = float(length_scale)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    def __call__(self, X, Y=None):
+        Y = X if Y is None else Y
+        r = np.sqrt(_cdist_sq(X, Y)) / self.length_scale
+        s = math.sqrt(5.0) * r
+        return (1.0 + s + s ** 2 / 3.0) * np.exp(-s)
+
+    def diag(self, X):
+        return np.ones(X.shape[0])
+
+    @property
+    def theta(self):
+        return np.array([math.log(self.length_scale)])
+
+    @theta.setter
+    def theta(self, value):
+        self.length_scale = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        return np.log(np.array([self._bounds]))
+
+
+class WhiteKernel(Kernel):
+    """I.i.d. observation-noise kernel: ``noise_level`` on the diagonal.
+
+    Only contributes when ``X is Y`` (training covariance); cross
+    covariances between distinct point sets are zero, so predictions are of
+    the noise-free latent function.
+    """
+
+    def __init__(self, noise_level: float = 1e-2,
+                 bounds: tuple[float, float] = (1e-8, 1e2)):
+        if noise_level <= 0:
+            raise ValueError("noise_level must be positive")
+        self.noise_level = float(noise_level)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    def __call__(self, X, Y=None):
+        if Y is None:
+            return self.noise_level * np.eye(X.shape[0])
+        return np.zeros((X.shape[0], Y.shape[0]))
+
+    def diag(self, X):
+        return np.full(X.shape[0], self.noise_level)
+
+    def latent_diag(self, X):
+        return np.zeros(X.shape[0])
+
+    @property
+    def theta(self):
+        return np.array([math.log(self.noise_level)])
+
+    @theta.setter
+    def theta(self, value):
+        self.noise_level = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        return np.log(np.array([self._bounds]))
+
+
+class _Binary(Kernel):
+    """Composite of two kernels with concatenated hyperparameters."""
+
+    def __init__(self, k1: Kernel, k2: Kernel):
+        self.k1 = k1
+        self.k2 = k2
+
+    def diag(self, X):
+        raise NotImplementedError
+
+    @property
+    def theta(self):
+        return np.concatenate([self.k1.theta, self.k2.theta])
+
+    @theta.setter
+    def theta(self, value):
+        n1 = len(self.k1.theta)
+        self.k1.theta = np.asarray(value)[:n1]
+        self.k2.theta = np.asarray(value)[n1:]
+
+    @property
+    def bounds(self):
+        return np.vstack([self.k1.bounds, self.k2.bounds])
+
+
+class Sum(_Binary):
+    """Pointwise sum of two kernels."""
+
+    def __call__(self, X, Y=None):
+        return self.k1(X, Y) + self.k2(X, Y)
+
+    def diag(self, X):
+        return self.k1.diag(X) + self.k2.diag(X)
+
+    def latent_diag(self, X):
+        return self.k1.latent_diag(X) + self.k2.latent_diag(X)
+
+
+class Product(_Binary):
+    """Pointwise product of two kernels."""
+
+    def __call__(self, X, Y=None):
+        return self.k1(X, Y) * self.k2(X, Y)
+
+    def diag(self, X):
+        return self.k1.diag(X) * self.k2.diag(X)
+
+    def latent_diag(self, X):
+        return self.k1.latent_diag(X) * self.k2.latent_diag(X)

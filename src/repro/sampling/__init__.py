@@ -1,0 +1,11 @@
+"""Sampling strategies: Latin Hypercube (plain + maximin) and uniform random."""
+
+from .lhs import latin_hypercube, maximin_latin_hypercube, min_pairwise_distance
+from .random_sampling import uniform_samples
+
+__all__ = [
+    "latin_hypercube",
+    "maximin_latin_hypercube",
+    "min_pairwise_distance",
+    "uniform_samples",
+]

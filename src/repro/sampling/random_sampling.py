@@ -1,0 +1,23 @@
+"""Plain uniform random sampling of the unit cube.
+
+Used as the Random Search baseline's proposal distribution (Bergstra &
+Bengio, 2012) and for comparing against LHS in ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import as_generator
+
+__all__ = ["uniform_samples"]
+
+
+def uniform_samples(n_samples: int, dim: int,
+                    rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Draw ``(n_samples, dim)`` i.i.d. uniform points on ``[0, 1)``."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    return as_generator(rng).random((n_samples, dim))

@@ -1,0 +1,30 @@
+"""Typed configuration spaces and the 44-parameter Spark tuning space."""
+
+from .parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+    SizeParameter,
+    TimeParameter,
+)
+from .space import ConfigSpace, Configuration
+from .spark_params import SPARK_PARAM_COUNT, spark_parameters, spark_space
+from .encoder import ConfigurationEncoder
+
+__all__ = [
+    "Parameter",
+    "FloatParameter",
+    "IntParameter",
+    "BoolParameter",
+    "CategoricalParameter",
+    "SizeParameter",
+    "TimeParameter",
+    "ConfigSpace",
+    "Configuration",
+    "ConfigurationEncoder",
+    "spark_parameters",
+    "spark_space",
+    "SPARK_PARAM_COUNT",
+]

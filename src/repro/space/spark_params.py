@@ -1,0 +1,156 @@
+"""The 44-parameter Spark 2.4 tuning space used in the paper's evaluation.
+
+The paper (§5.1) tunes "a total of 44 performance-related" Spark parameters —
+a superset of those considered by prior Spark-tuning work, minus deprecated
+and streaming parameters.  The exact list is not published, so this module
+reconstructs a faithful 44-parameter space from the Spark 2.4 configuration
+reference covering the same categories the paper names: runtime environment,
+shuffle, data serialization, memory management, networking and scheduling.
+
+Collinearity groups (paper §3.3 "Handling Collinearity" and §4 "Parameter
+Selection") are encoded via ``Parameter.group``:
+
+* ``executor.size`` — ``spark.executor.cores`` + ``spark.executor.memory``
+  (the paper's explicit domain-knowledge joint parameter),
+* ``offheap`` — off-heap size is only meaningful when off-heap is enabled,
+* ``speculation`` — multiplier/quantile only matter when speculation is on,
+* ``serializer`` — Kryo sub-options only matter when Kryo is selected.
+"""
+
+from __future__ import annotations
+
+from .parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+    SizeParameter,
+    TimeParameter,
+)
+from .space import ConfigSpace
+
+__all__ = ["spark_parameters", "spark_space", "SPARK_PARAM_COUNT"]
+
+SPARK_PARAM_COUNT = 44
+
+
+def spark_parameters() -> list[Parameter]:
+    """Build the 44 tunable Spark parameters with Spark 2.4 defaults."""
+    params: list[Parameter] = [
+        # ---- executors and driver resources (7) --------------------------------
+        IntParameter("spark.executor.cores", 1, 32, 1,
+                     group="executor.size",
+                     doc="Cores per executor JVM."),
+        SizeParameter("spark.executor.memory", 1024, 184320, 1024, unit="m",
+                      group="executor.size",
+                      doc="Heap size per executor (MB); 1 GB default, up to "
+                          "180 GB on the paper's nodes."),
+        IntParameter("spark.executor.instances", 1, 40, 5,
+                     doc="Number of executors launched for the application."),
+        SizeParameter("spark.executor.memoryOverhead", 384, 16384, 384, unit="m",
+                      doc="Off-heap overhead per executor (MB)."),
+        IntParameter("spark.driver.cores", 1, 8, 1,
+                     doc="Cores used by the driver process."),
+        SizeParameter("spark.driver.memory", 1024, 32768, 1024, unit="m",
+                      doc="Driver heap size (MB)."),
+        SizeParameter("spark.driver.maxResultSize", 512, 8192, 1024, unit="m",
+                      doc="Limit on serialized results collected to the driver."),
+        # ---- memory management (4) ------------------------------------------------
+        FloatParameter("spark.memory.fraction", 0.3, 0.9, 0.6,
+                       doc="Fraction of heap for execution + storage."),
+        FloatParameter("spark.memory.storageFraction", 0.1, 0.9, 0.5,
+                       doc="Fraction of unified memory immune to eviction "
+                           "by execution."),
+        BoolParameter("spark.memory.offHeap.enabled", False, group="offheap",
+                      doc="Use off-heap memory for execution/storage."),
+        SizeParameter("spark.memory.offHeap.size", 256, 32768, 2048, unit="m",
+                      group="offheap",
+                      doc="Off-heap memory size (MB); only used when enabled."),
+        # ---- parallelism and scheduling (8) ---------------------------------------
+        IntParameter("spark.default.parallelism", 8, 1024, 192, log=True,
+                     doc="Default number of partitions for shuffles."),
+        IntParameter("spark.task.cpus", 1, 4, 1,
+                     doc="Cores reserved per task."),
+        TimeParameter("spark.locality.wait", 0, 10, 3, unit="s",
+                      doc="Wait before giving up on data locality."),
+        CategoricalParameter("spark.scheduler.mode", ["FIFO", "FAIR"], "FIFO",
+                             doc="Intra-application job scheduling policy."),
+        BoolParameter("spark.speculation", False, group="speculation",
+                      doc="Re-launch slow tasks speculatively."),
+        FloatParameter("spark.speculation.multiplier", 1.1, 5.0, 1.5,
+                       group="speculation",
+                       doc="How much slower than median counts as slow."),
+        FloatParameter("spark.speculation.quantile", 0.5, 0.95, 0.75,
+                       group="speculation",
+                       doc="Fraction of tasks done before speculating."),
+        IntParameter("spark.task.maxFailures", 1, 8, 4,
+                     doc="Task failures tolerated before aborting the job."),
+        # ---- shuffle (9) -----------------------------------------------------------
+        BoolParameter("spark.shuffle.compress", True,
+                      doc="Compress shuffle map outputs."),
+        BoolParameter("spark.shuffle.spill.compress", True,
+                      doc="Compress data spilled during shuffles."),
+        SizeParameter("spark.shuffle.file.buffer", 16, 512, 32, unit="k",
+                      doc="In-memory buffer per shuffle file output stream (KB)."),
+        SizeParameter("spark.reducer.maxSizeInFlight", 8, 256, 48, unit="m",
+                      doc="Map output fetched concurrently per reducer (MB)."),
+        IntParameter("spark.reducer.maxReqsInFlight", 1, 64, 64,
+                     doc="Concurrent fetch requests per reducer."),
+        IntParameter("spark.shuffle.io.maxRetries", 1, 10, 3,
+                     doc="Retries for failed shuffle fetches."),
+        IntParameter("spark.shuffle.io.numConnectionsPerPeer", 1, 8, 1,
+                     doc="Connections reused between host pairs."),
+        IntParameter("spark.shuffle.sort.bypassMergeThreshold", 50, 1000, 200,
+                     doc="Max reduce partitions to bypass merge-sort."),
+        BoolParameter("spark.shuffle.service.enabled", False,
+                      doc="Use the external shuffle service."),
+        # ---- compression and serialization (8) ---------------------------------------
+        BoolParameter("spark.broadcast.compress", True,
+                      doc="Compress broadcast variables."),
+        BoolParameter("spark.rdd.compress", False,
+                      doc="Compress serialized cached RDD partitions."),
+        CategoricalParameter("spark.io.compression.codec",
+                             ["lz4", "lzf", "snappy", "zstd"], "lz4",
+                             doc="Codec for internal data compression."),
+        SizeParameter("spark.io.compression.blockSize", 4, 512, 32, unit="k",
+                      doc="Block size used by the compression codec (KB)."),
+        CategoricalParameter("spark.serializer", ["java", "kryo"], "java",
+                             group="serializer",
+                             doc="Serialization library for shuffles/caching."),
+        SizeParameter("spark.kryoserializer.buffer.max", 8, 512, 64, unit="m",
+                      group="serializer",
+                      doc="Max Kryo buffer (MB); only used with Kryo."),
+        BoolParameter("spark.kryo.unsafe", False, group="serializer",
+                      doc="Use unsafe-based Kryo serializer."),
+        IntParameter("spark.serializer.objectStreamReset", 50, 500, 100,
+                     doc="Objects between Java serializer stream resets."),
+        # ---- networking and RPC (4) -----------------------------------------------------
+        TimeParameter("spark.network.timeout", 60, 600, 120, unit="s",
+                      doc="Default timeout for network interactions."),
+        SizeParameter("spark.rpc.message.maxSize", 32, 512, 128, unit="m",
+                      doc="Max RPC message size (MB)."),
+        IntParameter("spark.rpc.io.serverThreads", 1, 32, 8,
+                     doc="Server threads in the RPC transfer service."),
+        BoolParameter("spark.shuffle.io.preferDirectBufs", True,
+                      doc="Prefer off-heap buffers in shuffle IO."),
+        # ---- storage, broadcast, input IO (4) --------------------------------------------
+        SizeParameter("spark.storage.memoryMapThreshold", 1, 16, 2, unit="m",
+                      doc="Min block size to memory-map when reading from disk."),
+        SizeParameter("spark.broadcast.blockSize", 1, 32, 4, unit="m",
+                      doc="Block size for TorrentBroadcast (MB)."),
+        SizeParameter("spark.files.maxPartitionBytes", 16, 512, 128, unit="m",
+                      doc="Max bytes packed into one input partition (MB)."),
+        SizeParameter("spark.maxRemoteBlockSizeFetchToMem", 32, 2048, 2048,
+                      unit="m",
+                      doc="Remote blocks above this size stream to disk (MB)."),
+    ]
+    if len(params) != SPARK_PARAM_COUNT:  # defensive: the paper count is load-bearing
+        raise AssertionError(f"expected {SPARK_PARAM_COUNT} parameters, "
+                             f"got {len(params)}")
+    return params
+
+
+def spark_space() -> ConfigSpace:
+    """The full 44-dimensional Spark tuning space (the paper's Generic Set)."""
+    return ConfigSpace(spark_parameters())

@@ -1,0 +1,36 @@
+"""Spark cluster simulator — the reproduction's evaluation substrate.
+
+Replaces the paper's physical 6-node Spark 2.4 testbed with a discrete-event
+model of executors, the unified memory manager, shuffle, GC, network and
+disk.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from .analysis import BottleneckProfile, TraceAnalyzer
+from .cluster import ClusterSpec, NodeSpec, paper_cluster
+from .conf import SparkConf
+from .memory import ExecutorMemory, executor_memory
+from .placement import Placement, place_executors
+from .result import ExecutionResult, RunStatus, StageMetrics
+from .simulator import SparkSimulator
+from .stage import CachedRDD, CacheLevel, InputSource, StageSpec
+
+__all__ = [
+    "BottleneckProfile",
+    "TraceAnalyzer",
+    "ClusterSpec",
+    "NodeSpec",
+    "paper_cluster",
+    "SparkConf",
+    "ExecutorMemory",
+    "executor_memory",
+    "Placement",
+    "place_executors",
+    "ExecutionResult",
+    "RunStatus",
+    "StageMetrics",
+    "SparkSimulator",
+    "StageSpec",
+    "CachedRDD",
+    "CacheLevel",
+    "InputSource",
+]

@@ -1,0 +1,135 @@
+"""Static configuration sanity checks ("why is this config imbalanced?").
+
+The tuners learn these pathologies from black-box evaluations; the advisor
+makes them legible to humans.  Each check returns a warning describing a
+structural problem — resource stranding, starvation, memory-pressure or
+failure risks — before any simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import ClusterSpec, paper_cluster
+from .conf import SparkConf
+from .memory import RESERVED_MB, executor_memory
+from .placement import place_executors
+
+__all__ = ["ConfigWarning", "advise"]
+
+
+@dataclass(frozen=True)
+class ConfigWarning:
+    """One detected configuration problem."""
+
+    code: str       # short machine-readable id, e.g. "no-placement"
+    severity: str   # "fatal" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def advise(conf: SparkConf | dict, cluster: ClusterSpec | None = None
+           ) -> list[ConfigWarning]:
+    """Run all static checks; returns warnings sorted fatal-first."""
+    if not isinstance(conf, SparkConf):
+        conf = SparkConf(conf)
+    cluster = cluster or paper_cluster()
+    out: list[ConfigWarning] = []
+    node = cluster.node
+
+    placement = place_executors(conf, cluster)
+    need_mb = conf.executor_memory_mb + conf.executor_memory_overhead_mb
+    if placement.executors == 0:
+        if conf.executor_cores > node.cores:
+            out.append(ConfigWarning(
+                "no-placement", "fatal",
+                f"executors request {conf.executor_cores} cores but nodes "
+                f"have {node.cores}"))
+        else:
+            out.append(ConfigWarning(
+                "no-placement", "fatal",
+                f"executors need {need_mb} MB but nodes have "
+                f"{node.memory_mb} MB"))
+        return out
+    if placement.task_slots == 0:
+        out.append(ConfigWarning(
+            "no-task-slots", "fatal",
+            f"spark.task.cpus={conf.task_cpus} exceeds executor cores "
+            f"{conf.executor_cores}; no task can ever run"))
+        return out
+
+    # ---- resource stranding -------------------------------------------------
+    per_node = placement.executors_per_node
+    used_cores = per_node * conf.executor_cores
+    used_mem = per_node * need_mb
+    if used_cores <= node.cores // 2 and used_mem > node.memory_mb * 0.75:
+        out.append(ConfigWarning(
+            "cores-stranded", "warning",
+            f"memory-bound packing: {used_cores}/{node.cores} cores busy "
+            f"while {used_mem / 1024:.0f}/{node.memory_mb / 1024:.0f} GB "
+            "committed — shrink executor memory or add cores per executor"))
+    if used_mem <= node.memory_mb // 2 and used_cores > node.cores * 0.75:
+        total_heap_gb = conf.executor_memory_mb / 1024
+        if total_heap_gb < 4:
+            out.append(ConfigWarning(
+                "memory-stranded", "warning",
+                f"core-bound packing with small heaps "
+                f"({total_heap_gb:.1f} GB/executor): most node memory "
+                "stays idle while tasks risk spilling"))
+
+    if placement.executors < conf.executor_instances:
+        out.append(ConfigWarning(
+            "fewer-executors", "warning",
+            f"requested {conf.executor_instances} executors but only "
+            f"{placement.executors} fit the cluster"))
+
+    # ---- memory pressure ------------------------------------------------------
+    mem = executor_memory(conf)
+    per_task = mem.execution_available_mb(0.0) / max(
+        conf.executor_cores // conf.task_cpus, 1)
+    if per_task < 192:
+        out.append(ConfigWarning(
+            "tiny-task-memory", "warning",
+            f"~{per_task:.0f} MB of execution memory per concurrent task; "
+            "typical partitions will spill or OOM"))
+    if conf.executor_memory_mb < RESERVED_MB + 1024:
+        out.append(ConfigWarning(
+            "heap-mostly-reserved", "warning",
+            f"heap {conf.executor_memory_mb} MB leaves little room beyond "
+            f"the {RESERVED_MB:.0f} MB JVM-reserved region; expect GC "
+            "thrash and unroll OOMs on real partitions"))
+
+    # ---- parallelism ------------------------------------------------------------
+    if conf.default_parallelism < placement.task_slots:
+        out.append(ConfigWarning(
+            "under-parallelized", "warning",
+            f"spark.default.parallelism={conf.default_parallelism} below "
+            f"the {placement.task_slots} available task slots; shuffle "
+            "stages leave cores idle"))
+    if conf.default_parallelism > placement.task_slots * 20:
+        out.append(ConfigWarning(
+            "over-parallelized", "warning",
+            f"{conf.default_parallelism} shuffle partitions on "
+            f"{placement.task_slots} slots: scheduling and tiny-file "
+            "overhead will dominate"))
+
+    # ---- dependent parameters -----------------------------------------------------
+    if conf.offheap_enabled and conf.offheap_size_mb + need_mb > node.memory_mb:
+        out.append(ConfigWarning(
+            "offheap-overcommit", "warning",
+            "off-heap size plus executor memory exceeds node memory"))
+    if conf.serializer == "kryo" and conf.kryo_buffer_max_mb < 16:
+        out.append(ConfigWarning(
+            "small-kryo-buffer", "warning",
+            f"kryoserializer.buffer.max={conf.kryo_buffer_max_mb} MB risks "
+            "buffer-overflow failures on large records"))
+    if conf.speculation and conf.speculation_multiplier < 1.2:
+        out.append(ConfigWarning(
+            "aggressive-speculation", "warning",
+            "speculation multiplier < 1.2 duplicates a large share of "
+            "healthy tasks"))
+
+    out.sort(key=lambda w: (w.severity != "fatal", w.code))
+    return out

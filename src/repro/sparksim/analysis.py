@@ -1,0 +1,115 @@
+"""Bottleneck analysis over simulated execution results.
+
+A tuned configuration is only half the story; users also want to know
+*why* a configuration is slow.  :class:`TraceAnalyzer` attributes each
+stage's duration to resource components (input IO, compute, shuffle write,
+shuffle fetch, spill, GC amplification, scheduling) and aggregates an
+application-level bottleneck profile — the simulator-world analogue of
+digging through the Spark UI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .result import ExecutionResult
+
+__all__ = ["BottleneckProfile", "TraceAnalyzer"]
+
+_COMPONENTS = ("read", "compute", "shuffle_write", "shuffle_fetch", "spill",
+               "scheduling")
+
+
+@dataclass(frozen=True)
+class BottleneckProfile:
+    """Fraction of attributable time per resource component.
+
+    Fractions sum to 1 over the attributable components; ``gc_overhead``
+    is reported separately as the mean multiplicative GC factor, and
+    ``cache_miss_fraction`` as the worst cache-read miss rate seen.
+    """
+
+    fractions: dict[str, float]
+    gc_overhead: float
+    cache_miss_fraction: float
+    total_s: float
+
+    @property
+    def dominant(self) -> str:
+        """The component with the largest share."""
+        return max(self.fractions, key=self.fractions.get)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        parts = ", ".join(f"{k} {v:.0%}" for k, v in
+                          sorted(self.fractions.items(),
+                                 key=lambda kv: -kv[1]) if v >= 0.01)
+        extra = []
+        if self.gc_overhead > 1.15:
+            extra.append(f"GC inflates CPU time {self.gc_overhead:.2f}x")
+        if self.cache_miss_fraction > 0.05:
+            extra.append(f"cache misses reach "
+                         f"{self.cache_miss_fraction:.0%} (evictions)")
+        tail = ("; " + "; ".join(extra)) if extra else ""
+        return (f"dominant bottleneck: {self.dominant} "
+                f"({self.fractions[self.dominant]:.0%} of attributable "
+                f"time). Breakdown: {parts}{tail}.")
+
+
+class TraceAnalyzer:
+    """Attribute simulated execution time to resource components."""
+
+    def analyze(self, result: ExecutionResult) -> BottleneckProfile:
+        """Build the application-level bottleneck profile.
+
+        Per-task component times are weighted by each stage's task count;
+        the shuffle-fetch floor is charged at the stage level.
+        """
+        if not result.stages:
+            raise ValueError("result has no stage metrics to analyze")
+        totals = {k: 0.0 for k in _COMPONENTS}
+        gc_weighted = 0.0
+        gc_weight = 0.0
+        worst_miss = 0.0
+        for s in result.stages:
+            n = max(s.tasks, 1)
+            totals["read"] += s.read_s * n
+            totals["compute"] += s.compute_s * n
+            totals["shuffle_write"] += s.shuffle_write_s * n
+            totals["spill"] += s.spill_s * n
+            totals["shuffle_fetch"] += s.shuffle_fetch_s
+            totals["scheduling"] += s.sched_overhead_s
+            gc_weighted += s.gc_factor * s.compute_s * n
+            gc_weight += s.compute_s * n
+            worst_miss = max(worst_miss, 1.0 - s.cache_hit_fraction)
+        attributable = sum(totals.values())
+        if attributable <= 0.0:
+            fractions = {k: 0.0 for k in _COMPONENTS}
+            fractions["compute"] = 1.0
+        else:
+            fractions = {k: v / attributable for k, v in totals.items()}
+        gc = gc_weighted / gc_weight if gc_weight > 0 else 1.0
+        return BottleneckProfile(
+            fractions=fractions,
+            gc_overhead=float(gc),
+            cache_miss_fraction=float(worst_miss),
+            total_s=float(result.duration_s),
+        )
+
+    def compare(self, before: ExecutionResult,
+                after: ExecutionResult) -> str:
+        """Narrate what changed between two runs of the same workload."""
+        pb = self.analyze(before)
+        pa = self.analyze(after)
+        speedup = before.duration_s / after.duration_s \
+            if after.duration_s > 0 else float("inf")
+        moved = []
+        for k in _COMPONENTS:
+            delta = pa.fractions[k] - pb.fractions[k]
+            if abs(delta) >= 0.05:
+                arrow = "up" if delta > 0 else "down"
+                moved.append(f"{k} {arrow} {abs(delta):.0%}")
+        detail = "; ".join(moved) if moved else "similar shape"
+        return (f"{speedup:.2f}x speedup ({before.duration_s:.0f}s -> "
+                f"{after.duration_s:.0f}s); bottleneck "
+                f"{pb.dominant} -> {pa.dominant}; {detail}.")

@@ -1,0 +1,117 @@
+"""A small discrete-event simulation core.
+
+General-purpose: an event queue ordered by (time, sequence) driving typed
+events through handler callbacks.  :mod:`repro.sparksim.eventsim` builds a
+task-level Spark execution model on top of it; tests use it to validate
+the vectorized wave scheduler against true event-driven semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue", "Simulation"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence.
+
+    Ordering is by time, then by insertion sequence (FIFO among
+    simultaneous events), which keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A min-heap of events with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        ev = Event(time=float(time), seq=next(self._counter), kind=kind,
+                   payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulation:
+    """Event loop dispatching to registered handlers.
+
+    Handlers receive ``(sim, event)`` and may push further events; the
+    loop runs until the queue drains, a time horizon passes, or a handler
+    calls :meth:`stop`.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._handlers: dict[str, Callable[["Simulation", Event], None]] = {}
+        self._stopped = False
+        self.processed = 0
+
+    def on(self, kind: str,
+           handler: Callable[["Simulation", Event], None]) -> None:
+        """Register the handler for an event kind (one per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"handler for {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def schedule(self, delay: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event *delay* after the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.queue.push(self.now + delay, kind, payload)
+
+    def stop(self) -> None:
+        """Request loop termination after the current event."""
+        self._stopped = True
+
+    def run(self, until: float | None = None) -> float:
+        """Process events; returns the final simulation time.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon: events after this time stay unprocessed and
+            ``now`` is clamped to the horizon.
+        """
+        while self.queue and not self._stopped:
+            if until is not None and self.queue.peek_time() > until:
+                self.now = until
+                return self.now
+            ev = self.queue.pop()
+            if ev.time < self.now - 1e-12:
+                raise RuntimeError("event queue went backwards in time")
+            self.now = ev.time
+            handler = self._handlers.get(ev.kind)
+            if handler is None:
+                raise KeyError(f"no handler registered for event {ev.kind!r}")
+            handler(self, ev)
+            self.processed += 1
+        return self.now

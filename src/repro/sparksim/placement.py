@@ -1,0 +1,73 @@
+"""Executor placement: which executors actually launch on the cluster.
+
+Spark standalone launches as many of the requested executors as the worker
+nodes can hold, packing by both cores and memory (heap + overhead).  A
+configuration asking for more than fits simply gets fewer executors — a key
+source of "imbalanced configuration" behaviour: huge executors strand cores,
+tiny ones strand memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import ClusterSpec
+from .conf import SparkConf
+
+__all__ = ["Placement", "place_executors"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Result of executor placement.
+
+    Attributes
+    ----------
+    executors:
+        Number of executors actually launched (≤ requested).
+    executors_per_node:
+        Executors packed onto each of the busiest nodes.
+    nodes_used:
+        Worker nodes hosting at least one executor.
+    task_slots:
+        Cluster-wide concurrent task capacity,
+        ``executors * (executor_cores // task_cpus)``.
+    """
+
+    executors: int
+    executors_per_node: int
+    nodes_used: int
+    task_slots: int
+
+    @property
+    def viable(self) -> bool:
+        """False when no executor fits or no task can run."""
+        return self.executors > 0 and self.task_slots > 0
+
+
+def place_executors(conf: SparkConf, cluster: ClusterSpec) -> Placement:
+    """Pack requested executors onto worker nodes.
+
+    Each executor consumes ``executor.cores`` cores and
+    ``executor.memory + memoryOverhead`` MB.  Executors never span nodes.
+    """
+    node = cluster.node
+    need_mem = conf.executor_memory_mb + conf.executor_memory_overhead_mb
+    per_node_by_cores = node.cores // conf.executor_cores
+    per_node_by_mem = node.memory_mb // need_mem
+    per_node = int(min(per_node_by_cores, per_node_by_mem))
+    if per_node == 0:
+        return Placement(0, 0, 0, 0)
+
+    capacity = per_node * cluster.n_workers
+    launched = min(conf.executor_instances, capacity)
+    # Round-robin placement: executors spread across nodes evenly.
+    nodes_used = min(cluster.n_workers, launched)
+    busiest = -(-launched // cluster.n_workers)  # ceil division
+    slots_per_exec = conf.executor_cores // conf.task_cpus
+    return Placement(
+        executors=launched,
+        executors_per_node=busiest,
+        nodes_used=nodes_used,
+        task_slots=launched * slots_per_exec,
+    )

@@ -1,0 +1,63 @@
+"""Execution results and per-stage metrics returned by the simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["RunStatus", "StageMetrics", "ExecutionResult"]
+
+
+class RunStatus(enum.Enum):
+    """Terminal state of a simulated application run."""
+
+    SUCCESS = "success"
+    OOM = "oom"                      # executor OutOfMemory → job aborted
+    RUNTIME_ERROR = "runtime_error"  # e.g. Kryo buffer overflow, RPC limit
+    INVALID = "invalid"              # no executor fits the cluster at all
+    TIMEOUT = "timeout"              # killed by the tuner's execution cap
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """Per-stage breakdown (seconds unless noted)."""
+
+    name: str
+    tasks: int
+    waves: int
+    duration_s: float
+    read_s: float = 0.0
+    compute_s: float = 0.0
+    shuffle_write_s: float = 0.0
+    shuffle_fetch_s: float = 0.0
+    spill_s: float = 0.0
+    gc_factor: float = 1.0
+    sched_overhead_s: float = 0.0
+    spilled_mb: float = 0.0
+    cache_hit_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one simulated application execution.
+
+    ``duration_s`` is the wall-clock the tuner observes.  For failed runs it
+    is the time elapsed until the failure surfaced (tuners count it toward
+    search cost, as a real cluster would have spent it).
+    """
+
+    status: RunStatus
+    duration_s: float
+    stages: tuple[StageMetrics, ...] = field(default_factory=tuple)
+    failure_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.SUCCESS
+
+    def stage(self, name: str) -> StageMetrics:
+        """Look up a stage's metrics by name (first match)."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)

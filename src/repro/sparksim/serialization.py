@@ -1,0 +1,97 @@
+"""Serializer and compression-codec cost models.
+
+Rates are expressed as throughput in MB/s of *uncompressed* data per core
+(relative to the reference CPU) and size ratios (output bytes / input
+bytes).  Numbers are drawn from published codec benchmarks and Spark tuning
+guides: Kryo is roughly 3-4x faster and ~2x denser than Java serialization;
+lz4/lzf/snappy are fast with moderate ratios; zstd compresses harder but
+costs more CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .conf import SparkConf
+
+__all__ = ["SerializerModel", "CodecModel", "serializer_model", "codec_model",
+           "kryo_buffer_failure"]
+
+
+@dataclass(frozen=True)
+class SerializerModel:
+    """Costs of one serialization library."""
+
+    name: str
+    ser_mbps: float       # serialize throughput, MB/s/core
+    deser_mbps: float     # deserialize throughput, MB/s/core
+    size_ratio: float     # serialized bytes / in-memory bytes
+    alloc_factor: float   # relative allocation pressure (drives GC)
+
+
+@dataclass(frozen=True)
+class CodecModel:
+    """Costs of one compression codec."""
+
+    name: str
+    comp_mbps: float      # compress throughput, MB/s/core
+    decomp_mbps: float    # decompress throughput, MB/s/core
+    ratio: float          # compressed bytes / input bytes (shuffle-like data)
+
+
+_SERIALIZERS = {
+    "java": SerializerModel("java", ser_mbps=90.0, deser_mbps=120.0,
+                            size_ratio=1.0, alloc_factor=1.0),
+    "kryo": SerializerModel("kryo", ser_mbps=300.0, deser_mbps=380.0,
+                            size_ratio=0.55, alloc_factor=0.6),
+}
+
+_CODECS = {
+    "lz4":    CodecModel("lz4", comp_mbps=420.0, decomp_mbps=1800.0, ratio=0.48),
+    "lzf":    CodecModel("lzf", comp_mbps=300.0, decomp_mbps=900.0, ratio=0.52),
+    "snappy": CodecModel("snappy", comp_mbps=380.0, decomp_mbps=1300.0, ratio=0.50),
+    "zstd":   CodecModel("zstd", comp_mbps=150.0, decomp_mbps=600.0, ratio=0.36),
+}
+
+
+def serializer_model(conf: SparkConf) -> SerializerModel:
+    """The serializer the configuration selects (with Kryo tweaks applied)."""
+    base = _SERIALIZERS[conf.serializer]
+    if conf.serializer == "kryo" and conf.kryo_unsafe:
+        # Unsafe IO is ~15% faster at identical density.
+        return SerializerModel(base.name, base.ser_mbps * 1.15,
+                               base.deser_mbps * 1.15, base.size_ratio,
+                               base.alloc_factor)
+    if conf.serializer == "java":
+        # Frequent object-stream resets cost CPU but cap reference tables;
+        # very infrequent resets bloat memory slightly.  Mild effect.
+        reset = conf.object_stream_reset
+        penalty = 1.0 + max(0.0, (100 - reset)) / 100 * 0.08
+        return SerializerModel(base.name, base.ser_mbps / penalty,
+                               base.deser_mbps / penalty, base.size_ratio,
+                               base.alloc_factor)
+    return base
+
+
+def codec_model(conf: SparkConf) -> CodecModel:
+    """The active codec, adjusted for the configured block size.
+
+    Tiny blocks hurt both ratio and speed (per-block overhead); very large
+    blocks marginally help ratio but raise memory per stream.  32-128 KB is
+    the sweet spot, matching Spark guidance.
+    """
+    base = _CODECS[conf.compression_codec]
+    block = conf.compression_block_kb
+    if block < 32:
+        f = 1.0 - 0.25 * (32 - block) / 28          # down to ~0.75 at 4 KB
+        return CodecModel(base.name, base.comp_mbps * f, base.decomp_mbps * f,
+                          min(1.0, base.ratio * (2.0 - f)))
+    if block > 128:
+        ratio = base.ratio * (1.0 - 0.02 * min(1.0, (block - 128) / 384))
+        return CodecModel(base.name, base.comp_mbps, base.decomp_mbps, ratio)
+    return base
+
+
+def kryo_buffer_failure(conf: SparkConf, largest_record_mb: float) -> bool:
+    """True when a record exceeds the max Kryo buffer (a runtime error)."""
+    return conf.serializer == "kryo" and largest_record_mb > conf.kryo_buffer_max_mb

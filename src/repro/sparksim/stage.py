@@ -1,0 +1,129 @@
+"""Stage-level workload description consumed by the simulator.
+
+A workload compiles (per configuration-independent dataset descriptor) into
+an ordered list of :class:`StageSpec`.  Sizes are *logical* MB — the bytes
+of the serialized-on-disk representation; in-memory (deserialized) sizes
+are ``logical * expansion``, and wire/cache sizes are scaled by serializer
+and codec ratios at simulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StageSpec", "CachedRDD", "InputSource", "CacheLevel"]
+
+
+class InputSource:
+    """Where a stage's input partitions come from."""
+
+    HDFS = "hdfs"        # read from the distributed filesystem
+    SHUFFLE = "shuffle"  # fetched from the previous stage's map outputs
+    CACHE = "cache"      # read from a cached RDD (falls back to recompute)
+
+
+class CacheLevel:
+    """Spark storage levels the simulator distinguishes."""
+
+    MEMORY = "memory"          # MEMORY_ONLY: deserialized objects
+    MEMORY_SER = "memory_ser"  # MEMORY_ONLY_SER: serialized (+ optional codec)
+
+
+@dataclass(frozen=True)
+class CachedRDD:
+    """A cached dataset tracked across stages.
+
+    ``rebuild_*`` describe the lineage cost of recomputing an evicted
+    partition: re-reading its inputs and re-running the producing
+    transformations.
+    """
+
+    name: str
+    logical_mb: float
+    level: str = CacheLevel.MEMORY
+    expansion: float = 2.5
+    rebuild_io_mb_per_mb: float = 1.0
+    rebuild_cpu_s_per_mb: float = 0.005
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a Spark job.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (also used in per-stage metrics).
+    input_mb:
+        Total logical input bytes across all tasks.
+    input_source:
+        One of :class:`InputSource`.
+    reads_cached:
+        Name of the :class:`CachedRDD` read when ``input_source == CACHE``.
+    compute_s_per_mb:
+        Reference-core CPU seconds per logical MB of input.
+    shuffle_write_ratio:
+        Logical shuffle output bytes per input byte (0 = no shuffle write).
+    cache_output:
+        When set, the stage materializes this RDD into the block manager.
+    partitions:
+        Task count override; ``None`` derives it from the configuration
+        (input size / ``maxPartitionBytes`` for HDFS stages,
+        ``spark.default.parallelism`` for shuffle/cache stages).
+    expansion:
+        Deserialized working-set bytes per logical input byte.
+    shuffle_agg:
+        True when the shuffle write performs map-side aggregation (cannot
+        use the sort-bypass path).
+    broadcast_mb:
+        Broadcast variable shipped to every executor before the stage.
+    driver_compute_s:
+        Serial driver-side work attached to the stage (model updates,
+        barriers); it parallelizes with nothing, bounding the achievable
+        speedup of driver-bound applications.
+    output_mb:
+        Logical bytes written to HDFS at stage end (e.g. TeraSort output).
+    driver_collect_mb:
+        Result bytes collected back to the driver (e.g. reduced centroids).
+    largest_record_mb:
+        Size of the largest single record (Kryo buffer ceiling check).
+    unroll_fraction:
+        Fraction of the working set that must be resident at once (cannot
+        spill).  Stages that cache deserialized output override this with
+        the full partition (Spark must materialize the block); sort-heavy
+        stages use a higher value than the 0.35 default.
+    """
+
+    name: str
+    input_mb: float
+    input_source: str = InputSource.HDFS
+    reads_cached: str | None = None
+    compute_s_per_mb: float = 0.01
+    shuffle_write_ratio: float = 0.0
+    cache_output: CachedRDD | None = None
+    partitions: int | None = None
+    expansion: float = 2.5
+    shuffle_agg: bool = False
+    broadcast_mb: float = 0.0
+    driver_compute_s: float = 0.0
+    output_mb: float = 0.0
+    driver_collect_mb: float = 0.0
+    largest_record_mb: float = 0.5
+    unroll_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.input_mb < 0:
+            raise ValueError(f"stage {self.name}: input_mb must be >= 0")
+        if self.input_source not in (InputSource.HDFS, InputSource.SHUFFLE,
+                                     InputSource.CACHE):
+            raise ValueError(f"stage {self.name}: bad input_source "
+                             f"{self.input_source!r}")
+        if self.input_source == InputSource.CACHE and not self.reads_cached:
+            raise ValueError(f"stage {self.name}: CACHE input needs reads_cached")
+        if self.shuffle_write_ratio < 0:
+            raise ValueError(f"stage {self.name}: negative shuffle_write_ratio")
+        if self.expansion <= 0:
+            raise ValueError(f"stage {self.name}: expansion must be positive")
+        if not 0.0 < self.unroll_fraction <= 1.0:
+            raise ValueError(f"stage {self.name}: unroll_fraction must be "
+                             "in (0, 1]")

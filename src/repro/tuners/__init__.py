@@ -1,0 +1,34 @@
+"""Tuners: ROBOTune plus the paper's three search-based baselines."""
+
+from .base import Evaluation, Objective, Tuner, TuningResult, workload_key
+from .bestconfig import BestConfig
+from .gunther import Gunther
+from .objective import DEFAULT_TIME_LIMIT_S, WorkloadObjective
+from .random_search import RandomSearch
+from .synthetic import SyntheticObjective, synthetic_space
+
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.core imports repro.tuners.base, so importing
+    # ROBOTune eagerly here would create an import cycle.
+    if name in ("ROBOTune", "ROBOTuneResult"):
+        from ..core import tuner as _core_tuner
+        return getattr(_core_tuner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Evaluation",
+    "Objective",
+    "Tuner",
+    "TuningResult",
+    "workload_key",
+    "WorkloadObjective",
+    "DEFAULT_TIME_LIMIT_S",
+    "ROBOTune",
+    "ROBOTuneResult",
+    "BestConfig",
+    "Gunther",
+    "RandomSearch",
+    "SyntheticObjective",
+    "synthetic_space",
+]

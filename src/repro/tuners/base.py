@@ -1,0 +1,143 @@
+"""Tuner protocol, evaluation records, and tuning results.
+
+All four tuners (ROBOTune, BestConfig, Gunther, Random Search) share this
+interface: they receive an :class:`Objective` (a black-box from unit-cube
+vectors to execution outcomes) and an evaluation budget, and produce a
+:class:`TuningResult`.  Search cost (paper §5.3) is the summed execution
+time of every configuration the tuner ran, including truncated and failed
+runs — exactly what a real cluster would have spent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..space.space import ConfigSpace, Configuration
+from ..sparksim.result import RunStatus
+
+__all__ = ["Evaluation", "Objective", "TuningResult", "Tuner", "workload_key"]
+
+
+def workload_key(objective: "Objective") -> str:
+    """Workload identity string of an objective, if it carries one."""
+    wl = getattr(objective, "workload", None)
+    return wl.full_key if wl is not None else ""
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One executed configuration.
+
+    ``objective`` is the value a tuner should minimize: the execution time
+    for successful runs and the evaluation cap for failed/killed runs
+    (censored — "at least this bad").  ``cost_s`` is the wall-clock charged
+    to search cost, which for failures is the (smaller) time actually
+    elapsed before the run died.
+    """
+
+    vector: np.ndarray
+    config: Configuration
+    objective: float
+    cost_s: float
+    status: RunStatus
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.SUCCESS
+
+
+class Objective(Protocol):
+    """Black-box objective over the unit cube."""
+
+    @property
+    def space(self) -> ConfigSpace: ...
+
+    @property
+    def time_limit_s(self) -> float: ...
+
+    def __call__(self, u: np.ndarray,
+                 time_limit_s: float | None = None) -> Evaluation: ...
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning session."""
+
+    tuner: str
+    workload: str
+    evaluations: list[Evaluation] = field(default_factory=list)
+    selection_cost_s: float = 0.0   # one-time parameter-selection cost
+    selected_parameters: list[str] = field(default_factory=list)
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def best_index(self) -> int:
+        """Index of the best *successful* evaluation (objective ties → first)."""
+        best, best_y = -1, float("inf")
+        for i, e in enumerate(self.evaluations):
+            if e.ok and e.objective < best_y:
+                best, best_y = i, e.objective
+        if best < 0:
+            raise RuntimeError("no successful evaluation in session")
+        return best
+
+    @property
+    def best_evaluation(self) -> Evaluation:
+        return self.evaluations[self.best_index]
+
+    @property
+    def best_time_s(self) -> float:
+        return self.best_evaluation.objective
+
+    @property
+    def best_config(self) -> Configuration:
+        return self.best_evaluation.config
+
+    @property
+    def search_cost_s(self) -> float:
+        """Total time spent generating and evaluating configurations
+        (excludes the one-time parameter-selection cost, per §5.3)."""
+        return float(sum(e.cost_s for e in self.evaluations))
+
+    def best_curve(self) -> np.ndarray:
+        """Minimum successful objective after each evaluation (Figure 6).
+
+        Entries before the first success are ``inf``.
+        """
+        out = np.empty(len(self.evaluations))
+        best = float("inf")
+        for i, e in enumerate(self.evaluations):
+            if e.ok:
+                best = min(best, e.objective)
+            out[i] = best
+        return out
+
+    def iterations_to_within(self, fraction: float) -> int | None:
+        """First 1-based evaluation index whose best-so-far is within
+        ``fraction`` of the session's final best (Table 2); None if never."""
+        if fraction < 0:
+            raise ValueError("fraction must be >= 0")
+        target = self.best_time_s * (1.0 + fraction)
+        curve = self.best_curve()
+        hits = np.nonzero(curve <= target)[0]
+        return int(hits[0]) + 1 if hits.size else None
+
+
+class Tuner(ABC):
+    """A budgeted configuration tuner."""
+
+    #: display name used in reports, e.g. ``"ROBOTune"``.
+    name: str = ""
+
+    @abstractmethod
+    def tune(self, objective: Objective, budget: int,
+             rng: np.random.Generator | int | None = None) -> TuningResult:
+        """Run one tuning session of at most *budget* evaluations."""

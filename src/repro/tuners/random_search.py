@@ -1,0 +1,43 @@
+"""Random Search baseline (Bergstra & Bengio, 2012).
+
+Samples the full configuration space uniformly at random for the whole
+budget.  Per §5.1, the baseline is augmented with a static threshold that
+stops imbalanced configurations from running too long (the same execution
+cap every tuner gets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sampling.random_sampling import uniform_samples
+from ..utils.rng import as_generator
+from .base import Objective, Tuner, TuningResult, workload_key
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(Tuner):
+    """Uniform random sampling of the tuning space.
+
+    Parameters
+    ----------
+    static_threshold_s:
+        Per-run kill threshold; ``None`` uses the objective's own cap.
+    """
+
+    name = "RandomSearch"
+
+    def __init__(self, *, static_threshold_s: float | None = None):
+        self.static_threshold_s = static_threshold_s
+
+    def tune(self, objective: Objective, budget: int,
+             rng: np.random.Generator | int | None = None) -> TuningResult:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = as_generator(rng)
+        result = TuningResult(tuner=self.name, workload=workload_key(objective))
+        U = uniform_samples(budget, objective.space.dim, rng)
+        for u in U:
+            result.evaluations.append(objective(u, self.static_threshold_s))
+        return result

@@ -1,0 +1,129 @@
+"""Synthetic objectives for testing and benchmarking tuners.
+
+These implement the same :class:`~repro.tuners.base.Objective` protocol as
+:class:`~repro.tuners.objective.WorkloadObjective` but evaluate a cheap
+analytic function instead of the cluster simulator, so tuner logic can be
+exercised (and unit-tested) in microseconds.  The default surface is a
+noisy quadratic bowl over a handful of *effective* dimensions with the
+remaining dimensions inert — the same structure (low intrinsic
+dimensionality inside a high-dimensional space) that motivates the paper's
+parameter selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..space.parameter import FloatParameter
+from ..space.space import ConfigSpace
+from ..sparksim.result import RunStatus
+from ..utils.rng import as_generator
+from .base import Evaluation
+
+__all__ = ["SyntheticObjective", "synthetic_space"]
+
+
+class _Dataset:
+    def __init__(self, label: str):
+        self.label = label
+
+
+class _Identity:
+    """Minimal workload identity (key / full_key / dataset.label) so the
+    synthetic objective participates in ROBOTune's caches."""
+
+    def __init__(self, name: str, dataset: str):
+        self.key = name
+        self.full_key = f"{name}/{dataset}"
+        self.dataset = _Dataset(dataset)
+
+
+def synthetic_space(dim: int = 10) -> ConfigSpace:
+    """A continuous unit-range space with ``dim`` anonymous parameters."""
+    return ConfigSpace([FloatParameter(f"x{i}", 0.0, 1.0, 0.5)
+                        for i in range(dim)])
+
+
+class SyntheticObjective:
+    """Noisy quadratic bowl with inert extra dimensions.
+
+    ``f(u) = base + scale * sum_j (u_j - optimum_j)^2`` over the first
+    ``n_effective`` coordinates, times multiplicative lognormal noise.
+    Evaluations whose true value exceeds a kill threshold are truncated,
+    mirroring the guard semantics of the real objective.
+
+    Parameters
+    ----------
+    space:
+        Defaults to a 10-dimensional :func:`synthetic_space`.
+    n_effective:
+        Coordinates that actually influence the objective.
+    optimum:
+        Location of the optimum in the effective coordinates (default 0.3).
+    base / scale:
+        Objective value at the optimum and the bowl's steepness.
+    noise:
+        Lognormal sigma of the multiplicative evaluation noise.
+    name / dataset:
+        Optional workload identity; when set, ROBOTune's selection cache
+        and memoization buffer treat this objective like a named workload.
+    """
+
+    def __init__(self, space: ConfigSpace | None = None, *,
+                 n_effective: int = 3, optimum: float = 0.3,
+                 base: float = 10.0, scale: float = 100.0,
+                 noise: float = 0.02, time_limit_s: float = 480.0,
+                 name: str | None = None, dataset: str = "D1",
+                 rng: np.random.Generator | int | None = None):
+        self._space = space or synthetic_space()
+        if not 1 <= n_effective <= self._space.dim:
+            raise ValueError("n_effective must be within the space dim")
+        self.n_effective = n_effective
+        self.optimum = float(optimum)
+        self.base = float(base)
+        self.scale = float(scale)
+        self.noise = float(noise)
+        self._time_limit_s = float(time_limit_s)
+        self._rng = as_generator(rng)
+        self.n_evaluations = 0
+        self._full_names = self._space.names[: n_effective]
+        if name is not None:
+            self.workload = _Identity(name, dataset)
+
+    @property
+    def space(self) -> ConfigSpace:
+        return self._space
+
+    @property
+    def time_limit_s(self) -> float:
+        return self._time_limit_s
+
+    def with_space(self, space: ConfigSpace) -> "SyntheticObjective":
+        """View through a subspace; frozen coordinates come from decode."""
+        clone = object.__new__(SyntheticObjective)
+        clone.__dict__ = dict(self.__dict__)
+        clone._space = space
+        return clone
+
+    def true_value(self, conf: dict) -> float:
+        """Noise-free objective of a full native configuration."""
+        err = sum((float(conf[n]) - self.optimum) ** 2
+                  for n in self._full_names)
+        return self.base + self.scale * err
+
+    def __call__(self, u: np.ndarray,
+                 time_limit_s: float | None = None) -> Evaluation:
+        u = np.asarray(u, dtype=float)
+        conf = self._space.decode(u)
+        value = self.true_value(conf) \
+            * float(np.exp(self._rng.normal(0.0, self.noise)))
+        limit = self._time_limit_s
+        if time_limit_s is not None:
+            limit = min(limit, float(time_limit_s))
+        self.n_evaluations += 1
+        if value > limit:
+            return Evaluation(vector=u.copy(), config=conf,
+                              objective=self._time_limit_s, cost_s=limit,
+                              status=RunStatus.TIMEOUT, truncated=True)
+        return Evaluation(vector=u.copy(), config=conf, objective=value,
+                          cost_s=value, status=RunStatus.SUCCESS)

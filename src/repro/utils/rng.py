@@ -1,0 +1,33 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``; this module normalizes all of
+those into a Generator so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn"]
+
+
+def as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce a seed / generator / None into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator | int | None, n: int) -> list[np.random.Generator]:
+    """Derive *n* independent child generators from *rng*.
+
+    Each child is seeded from a fresh draw of the parent, giving distinct
+    streams so parallel components seeded from the same parent do not share
+    randomness.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = as_generator(rng)
+    return [np.random.default_rng(int(parent.integers(0, 2 ** 63)))
+            for _ in range(n)]

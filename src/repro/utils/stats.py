@@ -1,0 +1,61 @@
+"""Small statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["geometric_mean", "percentile", "summarize", "Summary"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Speedup ratios are aggregated geometrically (the paper's "on average"
+    factors over workloads), since ratios compose multiplicatively.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of the given sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        maximum=float(arr.max()),
+    )

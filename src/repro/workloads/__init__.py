@@ -1,0 +1,28 @@
+"""The five SparkBench workloads of Table 1, as stage-DAG models."""
+
+from .base import Dataset, Workload
+from .connected_components import ConnectedComponents
+from .datasets import DATASET_LABELS, SCALE_UNITS, TABLE1, dataset_for
+from .kmeans import KMeans
+from .logistic_regression import LogisticRegression
+from .pagerank import PageRank
+from .registry import WORKLOADS, all_workload_names, get_workload, iter_table1
+from .terasort import TeraSort
+
+__all__ = [
+    "Dataset",
+    "Workload",
+    "PageRank",
+    "KMeans",
+    "ConnectedComponents",
+    "LogisticRegression",
+    "TeraSort",
+    "TABLE1",
+    "DATASET_LABELS",
+    "SCALE_UNITS",
+    "dataset_for",
+    "WORKLOADS",
+    "get_workload",
+    "all_workload_names",
+    "iter_table1",
+]

@@ -1,0 +1,70 @@
+"""Workload abstraction: dataset descriptor → compiled stage list.
+
+A :class:`Workload` is the SparkBench-application analogue.  Each concrete
+workload models the stage DAG the real application would produce — the
+same shuffle patterns, caching behaviour and compute intensity — scaled by
+its dataset descriptor.  Stage lists are configuration-independent; the
+simulator derives partition counts, memory behaviour, and all cost terms
+from the configuration at run time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..sparksim.stage import StageSpec
+
+__all__ = ["Dataset", "Workload"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated input dataset (Table 1 row entry).
+
+    ``scale`` is the workload-specific size knob (million pages, million
+    points/examples, or GB) and ``label`` the paper's D1/D2/D3 tag.
+    """
+
+    label: str
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("dataset scale must be positive")
+
+
+class Workload(ABC):
+    """A tunable data-analytics application bound to one dataset."""
+
+    #: short name used by the registry and caches, e.g. ``"pagerank"``.
+    name: str = ""
+    #: abbreviation used in the paper's figures, e.g. ``"PR"``.
+    abbrev: str = ""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+
+    @property
+    def key(self) -> str:
+        """Identity used by the parameter-selection cache: the workload
+        name *without* the dataset, since high-impact parameters are stable
+        across dataset sizes (paper §3.2)."""
+        return self.name
+
+    @property
+    def full_key(self) -> str:
+        """Workload plus dataset, e.g. ``"pagerank/D2"``."""
+        return f"{self.name}/{self.dataset.label}"
+
+    @abstractmethod
+    def build_stages(self) -> list[StageSpec]:
+        """Compile the stage DAG for this dataset."""
+
+    @property
+    @abstractmethod
+    def input_mb(self) -> float:
+        """Logical bytes of the generated input (MB)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.dataset.label}, {self.dataset.scale})"

@@ -1,0 +1,50 @@
+"""Table 1: the evaluated workloads and their three datasets each.
+
+==========================  ================================
+Workload                    Input datasets (D1, D2, D3)
+==========================  ================================
+PageRank (PR)               5, 7.5, 10 million pages
+KMeans (KM)                 200, 300, 400 million points
+ConnectedComponents (CC)    5, 7.5, 10 million pages
+LogisticRegression (LR)     100, 200, 300 million examples
+TeraSort (TS)               20, 30, 40 GB
+==========================  ================================
+"""
+
+from __future__ import annotations
+
+from .base import Dataset
+
+__all__ = ["TABLE1", "DATASET_LABELS", "SCALE_UNITS", "dataset_for"]
+
+DATASET_LABELS = ("D1", "D2", "D3")
+
+TABLE1: dict[str, tuple[Dataset, Dataset, Dataset]] = {
+    "pagerank": (Dataset("D1", 5.0), Dataset("D2", 7.5), Dataset("D3", 10.0)),
+    "kmeans": (Dataset("D1", 200.0), Dataset("D2", 300.0), Dataset("D3", 400.0)),
+    "connectedcomponents": (Dataset("D1", 5.0), Dataset("D2", 7.5),
+                            Dataset("D3", 10.0)),
+    "logisticregression": (Dataset("D1", 100.0), Dataset("D2", 200.0),
+                           Dataset("D3", 300.0)),
+    "terasort": (Dataset("D1", 20.0), Dataset("D2", 30.0), Dataset("D3", 40.0)),
+}
+
+#: Units of each workload's ``scale`` value, for reporting.
+SCALE_UNITS: dict[str, str] = {
+    "pagerank": "million pages",
+    "kmeans": "million points",
+    "connectedcomponents": "million pages",
+    "logisticregression": "million examples",
+    "terasort": "GB",
+}
+
+
+def dataset_for(workload: str, label: str) -> Dataset:
+    """Look up a Table 1 dataset, e.g. ``dataset_for("pagerank", "D2")``."""
+    if workload not in TABLE1:
+        raise KeyError(f"unknown workload {workload!r}")
+    try:
+        return TABLE1[workload][DATASET_LABELS.index(label)]
+    except ValueError:
+        raise KeyError(f"unknown dataset label {label!r}; "
+                       f"expected one of {DATASET_LABELS}") from None

@@ -1,0 +1,124 @@
+"""Extra workloads beyond the paper's Table 1.
+
+The paper evaluates five SparkBench applications; these additional models
+(also SparkBench members) are provided for users who want a broader
+workload mix — they exercise the same simulator features but are *not*
+part of the reproduced experiments.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.stage import CachedRDD, CacheLevel, InputSource, StageSpec
+from .base import Workload
+
+__all__ = ["WordCount", "SupportVectorMachine", "TriangleCount",
+           "EXTRA_WORKLOADS"]
+
+
+class WordCount(Workload):
+    """The canonical map + aggregate shuffle job over ``scale`` GB of text."""
+
+    name = "wordcount"
+    abbrev = "WC"
+
+    @property
+    def input_mb(self) -> float:
+        return self.dataset.scale * 1024.0
+
+    def build_stages(self) -> list[StageSpec]:
+        input_mb = self.input_mb
+        return [
+            StageSpec(name="tokenize-and-count", input_mb=input_mb,
+                      compute_s_per_mb=0.006,
+                      shuffle_write_ratio=0.15,  # partial counts
+                      shuffle_agg=True, expansion=2.0,
+                      largest_record_mb=0.001),
+            StageSpec(name="aggregate-counts", input_mb=input_mb * 0.15,
+                      input_source=InputSource.SHUFFLE,
+                      compute_s_per_mb=0.004, shuffle_agg=True,
+                      expansion=2.2, output_mb=input_mb * 0.05),
+        ]
+
+
+class SupportVectorMachine(Workload):
+    """SGD-trained linear SVM over ``scale`` million examples.
+
+    Cache-bound and compute-heavy like KMeans, but with a per-iteration
+    driver synchronization like LogisticRegression.
+    """
+
+    name = "svm"
+    abbrev = "SVM"
+    iterations = 8
+
+    @property
+    def input_mb(self) -> float:
+        return self.dataset.scale * 140.0
+
+    def build_stages(self) -> list[StageSpec]:
+        input_mb = self.input_mb
+        examples_mb = input_mb * 0.7
+        examples = CachedRDD(
+            name="svm-examples", logical_mb=examples_mb,
+            level=CacheLevel.MEMORY, expansion=1.8,
+            rebuild_io_mb_per_mb=input_mb / examples_mb,
+            rebuild_cpu_s_per_mb=0.007)
+        stages: list[StageSpec] = [
+            StageSpec(name="parse-and-cache", input_mb=input_mb,
+                      compute_s_per_mb=0.007, expansion=1.8,
+                      cache_output=examples, largest_record_mb=0.01),
+        ]
+        for it in range(self.iterations):
+            stages.append(StageSpec(
+                name=f"sgd-epoch-{it}", input_mb=examples_mb,
+                input_source=InputSource.CACHE, reads_cached="svm-examples",
+                compute_s_per_mb=0.020, shuffle_write_ratio=0.0004,
+                shuffle_agg=True, expansion=1.8, broadcast_mb=1.5,
+                driver_collect_mb=3.0, driver_compute_s=3.0,
+                largest_record_mb=0.01))
+        return stages
+
+
+class TriangleCount(Workload):
+    """Triangle counting over a graph of ``scale`` million pages.
+
+    The most shuffle-intensive of the graph workloads: enumerating wedges
+    multiplies the data volume before the final aggregation.
+    """
+
+    name = "trianglecount"
+    abbrev = "TC"
+
+    @property
+    def input_mb(self) -> float:
+        return self.dataset.scale * 600.0
+
+    def build_stages(self) -> list[StageSpec]:
+        input_mb = self.input_mb
+        graph_mb = input_mb * 1.05
+        graph = CachedRDD(
+            name="tc-graph", logical_mb=graph_mb,
+            level=CacheLevel.MEMORY_SER, expansion=3.4,
+            rebuild_io_mb_per_mb=input_mb / graph_mb,
+            rebuild_cpu_s_per_mb=0.010)
+        wedges_mb = graph_mb * 2.5
+        return [
+            StageSpec(name="build-graph", input_mb=input_mb,
+                      compute_s_per_mb=0.010, expansion=3.4,
+                      unroll_fraction=1.0, cache_output=graph,
+                      largest_record_mb=2.0),
+            StageSpec(name="enumerate-wedges", input_mb=graph_mb,
+                      input_source=InputSource.CACHE, reads_cached="tc-graph",
+                      compute_s_per_mb=0.012, shuffle_write_ratio=2.5,
+                      expansion=3.2, largest_record_mb=2.0),
+            StageSpec(name="close-triangles", input_mb=wedges_mb,
+                      input_source=InputSource.SHUFFLE,
+                      compute_s_per_mb=0.008, shuffle_agg=True,
+                      expansion=2.8, driver_collect_mb=0.5),
+        ]
+
+
+EXTRA_WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (WordCount, SupportVectorMachine, TriangleCount)
+}

@@ -1,0 +1,85 @@
+"""PageRank (SparkBench PR): iterative graph workload.
+
+DAG shape: parse the edge list and build + cache the adjacency structure
+(a wide groupBy-like construction with heavy object expansion — the stage
+that OOMs under Spark's default 1 GB executors), then per iteration a
+contributions map over the cached graph feeding an aggregate-by-key
+shuffle of rank updates.  Shuffle-heavy and cache-sensitive: the paper
+finds PR benefits most from fine-grained exploitation.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.stage import CachedRDD, CacheLevel, InputSource, StageSpec
+from .base import Dataset, Workload
+
+__all__ = ["PageRank"]
+
+# Logical bytes per page: adjacency text (page id + outlinks).
+_BYTES_PER_PAGE = 550.0
+_ITERATIONS = 3
+
+
+class PageRank(Workload):
+    """PageRank over a generated web graph of ``scale`` million pages."""
+
+    name = "pagerank"
+    abbrev = "PR"
+
+    @property
+    def input_mb(self) -> float:
+        return self.dataset.scale * _BYTES_PER_PAGE  # 1e6 pages * B = MB
+
+    def build_stages(self) -> list[StageSpec]:
+        input_mb = self.input_mb
+        graph_mb = input_mb * 1.1  # adjacency plus rank vector
+        graph = CachedRDD(
+            name="pr-graph",
+            logical_mb=graph_mb,
+            level=CacheLevel.MEMORY,
+            expansion=3.6,  # pointer-heavy adjacency objects
+            rebuild_io_mb_per_mb=input_mb / graph_mb,
+            rebuild_cpu_s_per_mb=0.012,
+        )
+        stages: list[StageSpec] = [
+            StageSpec(
+                name="parse-and-cache-graph",
+                input_mb=input_mb,
+                input_source=InputSource.HDFS,
+                compute_s_per_mb=0.012,
+                expansion=3.6,
+                cache_output=graph,
+                largest_record_mb=2.0,  # hub pages with huge adjacency lists
+            ),
+        ]
+        for it in range(_ITERATIONS):
+            contrib_mb = graph_mb * 0.7  # rank contributions along edges
+            stages.append(StageSpec(
+                name=f"contributions-{it}",
+                input_mb=graph_mb,
+                input_source=InputSource.CACHE,
+                reads_cached="pr-graph",
+                compute_s_per_mb=0.010,
+                shuffle_write_ratio=0.7,
+                expansion=3.6,
+                largest_record_mb=2.0,
+            ))
+            stages.append(StageSpec(
+                name=f"aggregate-ranks-{it}",
+                input_mb=contrib_mb,
+                input_source=InputSource.SHUFFLE,
+                compute_s_per_mb=0.006,
+                shuffle_agg=True,
+                expansion=2.5,
+                driver_collect_mb=0.5,  # convergence delta
+            ))
+        stages.append(StageSpec(
+            name="save-ranks",
+            input_mb=graph_mb * 0.15,
+            input_source=InputSource.CACHE,
+            reads_cached="pr-graph",
+            compute_s_per_mb=0.002,
+            expansion=2.0,
+            output_mb=graph_mb * 0.1,
+        ))
+        return stages

@@ -1,0 +1,70 @@
+"""Workload registry: name/label lookup for the five SparkBench workloads."""
+
+from __future__ import annotations
+
+from .base import Dataset, Workload
+from .connected_components import ConnectedComponents
+from .datasets import DATASET_LABELS, TABLE1, dataset_for
+from .extras import EXTRA_WORKLOADS
+from .kmeans import KMeans
+from .logistic_regression import LogisticRegression
+from .pagerank import PageRank
+from .terasort import TeraSort
+
+__all__ = ["WORKLOADS", "EXTRA_WORKLOADS", "get_workload",
+           "all_workload_names", "iter_table1"]
+
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (PageRank, KMeans, ConnectedComponents, LogisticRegression,
+                TeraSort)
+}
+
+_ALL = {**WORKLOADS, **EXTRA_WORKLOADS}
+_ABBREVS = {cls.abbrev.lower(): cls.name for cls in _ALL.values()}
+
+#: Default scales for the extra (non-Table 1) workloads' D1/D2/D3 labels.
+_EXTRA_SCALES: dict[str, tuple[float, float, float]] = {
+    "wordcount": (20.0, 30.0, 40.0),          # GB
+    "svm": (50.0, 100.0, 150.0),              # million examples
+    "trianglecount": (2.0, 3.0, 4.0),         # million pages
+}
+
+
+def get_workload(name: str, dataset: str | Dataset | float = "D1") -> Workload:
+    """Instantiate a workload by name (or abbreviation) and dataset.
+
+    ``dataset`` is a Table 1 label ("D1"/"D2"/"D3"), a custom
+    :class:`Dataset`, or a bare numeric scale.  Extra (non-paper)
+    workloads resolve labels through their own default scales.
+    """
+    key = name.lower()
+    key = _ABBREVS.get(key, key)
+    if key not in _ALL:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {sorted(_ALL)}")
+    if isinstance(dataset, (int, float)):
+        dataset = Dataset("custom", float(dataset))
+    elif isinstance(dataset, str):
+        if key in TABLE1:
+            dataset = dataset_for(key, dataset)
+        else:
+            try:
+                scale = _EXTRA_SCALES[key][DATASET_LABELS.index(dataset)]
+            except (KeyError, ValueError):
+                raise KeyError(f"unknown dataset label {dataset!r} for "
+                               f"extra workload {key!r}") from None
+            dataset = Dataset(dataset, scale)
+    return _ALL[key](dataset)
+
+
+def all_workload_names() -> list[str]:
+    """Registry keys in Table 1 order."""
+    return list(WORKLOADS)
+
+
+def iter_table1():
+    """Yield every (workload_name, dataset_label) cell of Table 1."""
+    for name in WORKLOADS:
+        for label in DATASET_LABELS:
+            yield name, label

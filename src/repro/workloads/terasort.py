@@ -1,0 +1,63 @@
+"""TeraSort (SparkBench TS): the classic sort micro-benchmark.
+
+DAG shape: a small range-partitioner sampling stage, a full-data map that
+shuffles everything, and a sort-and-write reduce stage.  No caching, no
+iterations — performance is governed by the shuffle path (serializer,
+codec, buffers, in-flight window) and by partition sizing: with Spark's
+default parallelism the per-task sort working set blows past the default
+1 GB executor heap on the two larger datasets, reproducing the paper's
+"runtime errors" for TS-D2/D3 under the default configuration.
+"""
+
+from __future__ import annotations
+
+from ..sparksim.stage import InputSource, StageSpec
+from .base import Workload
+
+__all__ = ["TeraSort"]
+
+
+class TeraSort(Workload):
+    """TeraSort over ``scale`` GB of generated records."""
+
+    name = "terasort"
+    abbrev = "TS"
+
+    @property
+    def input_mb(self) -> float:
+        return self.dataset.scale * 1024.0
+
+    def build_stages(self) -> list[StageSpec]:
+        input_mb = self.input_mb
+        return [
+            StageSpec(
+                name="sample-ranges",
+                input_mb=input_mb * 0.01,
+                input_source=InputSource.HDFS,
+                compute_s_per_mb=0.003,
+                expansion=1.5,
+                driver_collect_mb=1.0,
+            ),
+            StageSpec(
+                name="map-and-shuffle",
+                input_mb=input_mb,
+                input_source=InputSource.HDFS,
+                compute_s_per_mb=0.004,
+                shuffle_write_ratio=1.0,
+                expansion=2.2,
+                broadcast_mb=1.0,  # range boundaries
+                largest_record_mb=0.001,
+            ),
+            StageSpec(
+                name="sort-and-write",
+                input_mb=input_mb,
+                input_source=InputSource.SHUFFLE,
+                compute_s_per_mb=0.006,
+                # External sort: records plus pointer arrays and fetch
+                # buffers; half of it must be resident for the merge.
+                expansion=6.0,
+                unroll_fraction=0.5,
+                output_mb=input_mb,
+                largest_record_mb=0.001,
+            ),
+        ]

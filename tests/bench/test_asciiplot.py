@@ -1,0 +1,61 @@
+"""Tests for ASCII heatmap/scatter rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_heatmap, ascii_scatter
+
+
+class TestHeatmap:
+    def test_dimensions(self):
+        M = np.arange(12, dtype=float).reshape(3, 4)
+        out = ascii_heatmap(M)
+        rows = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert len(rows) == 3
+        assert all(len(r) == 4 + 2 for r in rows)
+
+    def test_invert_marks_low_values_dense(self):
+        M = np.array([[0.0, 100.0]])
+        out = ascii_heatmap(M, invert=True)
+        row = [ln for ln in out.splitlines() if ln.startswith("|")][0]
+        assert row[1] == "@"   # low value -> densest glyph
+        assert row[2] == " "   # high value -> lightest glyph
+
+    def test_points_overlay(self):
+        M = np.zeros((4, 4))
+        out = ascii_heatmap(M, points=np.array([[1, 2]]))
+        assert "o" in out
+
+    def test_constant_matrix_no_crash(self):
+        out = ascii_heatmap(np.full((2, 2), 7.0))
+        assert out
+
+    def test_labels_rendered(self):
+        out = ascii_heatmap(np.zeros((3, 5)), x_labels=["1", "32"],
+                            y_labels=["1g", "180g"], title="surface")
+        assert "surface" in out
+        assert "1g" in out and "180g" in out
+        assert "32" in out
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+
+
+class TestScatter:
+    def test_density_digits(self):
+        x = np.zeros(5)
+        y = np.zeros(5)
+        out = ascii_scatter(x, y, width=10, height=4)
+        assert "5" in out
+
+    def test_range_footer(self):
+        out = ascii_scatter(np.array([1.0, 32.0]), np.array([1.0, 180.0]),
+                            x_label="cores", y_label="mem")
+        assert "cores" in out and "[1, 32]" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.array([]), np.array([]))

@@ -1,0 +1,29 @@
+"""Tests for the §5.2 default-comparison renderer (no study needed)."""
+
+import pytest
+
+from repro.bench.experiments import run_default_comparison
+
+
+class TestRenderer:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_default_comparison(study=None, rng=5)
+
+    def test_all_15_cells_present(self, report):
+        for ab in ("PR", "KM", "CC", "LR", "TS"):
+            for ds in ("D1", "D2", "D3"):
+                assert f"{ab}-{ds}" in report
+
+    def test_paper_failure_narrative(self, report):
+        lines = {ln.split()[0]: ln for ln in report.splitlines()
+                 if "-D" in ln}
+        for cell in ("PR-D1", "PR-D2", "PR-D3", "CC-D1", "CC-D2", "CC-D3",
+                     "TS-D2", "TS-D3"):
+            assert "default fails" in lines[cell], cell
+        for cell in ("KM-D1", "KM-D2", "KM-D3", "LR-D1", "LR-D2", "LR-D3",
+                     "TS-D1"):
+            assert "success" in lines[cell], cell
+
+    def test_without_study_no_speedups(self, report):
+        assert "x speedup" not in report

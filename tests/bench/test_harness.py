@@ -1,0 +1,71 @@
+"""Tests for the comparison-study harness (at miniature scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ComparisonStudy, StudyResult
+
+
+@pytest.fixture(scope="module")
+def mini_study():
+    """A 2-tuner, 1-workload, 2-dataset, 1-trial study (fast)."""
+    study = ComparisonStudy(budget=12, trials=1, workloads=["terasort"],
+                            datasets=["D1", "D2"],
+                            tuners=["RandomSearch", "BestConfig"],
+                            base_seed=3).run()
+    return study
+
+
+class TestStudyExecution:
+    def test_grid_complete(self, mini_study):
+        assert len(mini_study.records) == 2 * 2  # tuners x datasets
+
+    def test_record_fields(self, mini_study):
+        rec = mini_study.records[0]
+        assert rec.curve.shape == (12,)
+        assert rec.exec_times.shape == (12,)
+        assert rec.cores_mem.shape == (12, 2)
+        assert len(rec.statuses) == 12
+        assert rec.best_time_s > 0
+        assert rec.search_cost_s >= rec.best_time_s
+
+    def test_filter_and_means(self, mini_study):
+        rs = mini_study.filter(tuner="RandomSearch")
+        assert len(rs) == 2
+        assert mini_study.mean_best_time("RandomSearch", "terasort",
+                                         "D1") > 0
+        with pytest.raises(KeyError):
+            mini_study.mean_best_time("RandomSearch", "terasort", "D9")
+
+    def test_reproducible_given_base_seed(self):
+        kw = dict(budget=8, trials=1, workloads=["terasort"],
+                  datasets=["D1"], tuners=["RandomSearch"], base_seed=11)
+        a = ComparisonStudy(**kw).run()
+        b = ComparisonStudy(**kw).run()
+        assert a.records[0].best_time_s == b.records[0].best_time_s
+
+    def test_unknown_tuner_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonStudy(tuners=["MagicTuner"])
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        ComparisonStudy(budget=5, trials=1, workloads=["terasort"],
+                        datasets=["D1"], tuners=["RandomSearch"],
+                        base_seed=0).run(progress=seen.append)
+        assert len(seen) == 1
+        assert "RandomSearch" in seen[0]
+
+
+class TestROBOTuneSessions:
+    def test_warm_datasets_hit_selection_cache(self):
+        study = ComparisonStudy(
+            budget=25, trials=1, workloads=["terasort"],
+            datasets=["D1", "D2"], tuners=["ROBOTune"], base_seed=5,
+        ).run()
+        d1 = study.filter(dataset="D1")[0]
+        d2 = study.filter(dataset="D2")[0]
+        assert not d1.cache_hit
+        assert d2.cache_hit
+        assert d1.selection_cost_s > 0
+        assert d2.selection_cost_s == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the SVG chart writer (structure validated via XML parsing)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.bench.svgplot import svg_grouped_bars, svg_heatmap, svg_line_chart
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestGroupedBars:
+    def test_valid_svg_with_expected_bars(self):
+        svg = svg_grouped_bars(["PR-D1", "PR-D2"],
+                               {"ROBOTune": [0.9, 0.8], "RS": [1.0, 1.0]},
+                               title="Fig 3", baseline=1.0)
+        root = parse(svg)
+        rects = root.findall(f"{NS}rect")
+        # background + 4 bars + 2 legend swatches
+        assert len(rects) >= 7
+        assert "Fig 3" in svg
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            svg_grouped_bars(["a", "b"], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_grouped_bars([], {})
+
+    def test_baseline_draws_dashed_line(self):
+        svg = svg_grouped_bars(["a"], {"s": [2.0]}, baseline=1.0)
+        assert "stroke-dasharray" in svg
+
+
+class TestLineChart:
+    def test_polyline_per_series(self):
+        svg = svg_line_chart({
+            "A": ([1, 2, 3], [3.0, 2.0, 1.0]),
+            "B": ([1, 2, 3], [4.0, 4.0, 4.0]),
+        }, title="Fig 6")
+        root = parse(svg)
+        assert len(root.findall(f"{NS}polyline")) == 2
+
+    def test_infinite_values_skipped(self):
+        svg = svg_line_chart({"A": ([1, 2, 3], [np.inf, 2.0, 1.0])})
+        root = parse(svg)
+        poly = root.find(f"{NS}polyline")
+        assert len(poly.get("points").split()) == 2
+
+    def test_log_scale(self):
+        svg = svg_line_chart({"A": ([1, 2], [10.0, 1000.0])}, log_y=True)
+        assert parse(svg) is not None
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({"A": ([1, 2], [0.0, 5.0])}, log_y=True)
+
+    def test_all_inf_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({"A": ([1], [np.inf])})
+
+
+class TestHeatmap:
+    def test_cell_count(self):
+        svg = svg_heatmap(np.arange(6.0).reshape(2, 3))
+        root = parse(svg)
+        rects = root.findall(f"{NS}rect")
+        assert len(rects) == 1 + 6  # background + cells
+
+    def test_points_overlay(self):
+        svg = svg_heatmap(np.zeros((3, 3)), points=np.array([[1, 1]]))
+        root = parse(svg)
+        assert len(root.findall(f"{NS}circle")) == 1
+
+    def test_labels(self):
+        svg = svg_heatmap(np.zeros((2, 2)), x_labels=["1c", "32c"],
+                          y_labels=["1g", "180g"])
+        assert "32c" in svg and "180g" in svg
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            svg_heatmap(np.zeros(4))
+
+    def test_constant_matrix(self):
+        assert parse(svg_heatmap(np.full((2, 2), 5.0))) is not None

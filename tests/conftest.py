@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.space import spark_space
+from repro.sparksim import SparkSimulator
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def space():
+    """The full 44-dimensional Spark tuning space."""
+    return spark_space()
+
+
+@pytest.fixture(scope="session")
+def simulator() -> SparkSimulator:
+    return SparkSimulator()

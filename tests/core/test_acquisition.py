@@ -1,0 +1,90 @@
+"""Tests for the PI/EI/LCB acquisition functions (paper eqs. 2-4)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core import (DEFAULT_KAPPA, DEFAULT_XI, ExpectedImprovement,
+                        LowerConfidenceBound, ProbabilityOfImprovement)
+
+
+MU = np.array([0.0, -1.0, 1.0, -3.0])
+SIGMA = np.array([1.0, 0.5, 2.0, 0.1])
+F_BEST = 0.0
+
+
+class TestPI:
+    def test_matches_closed_form(self):
+        pi = ProbabilityOfImprovement(xi=0.01)
+        expected = norm.cdf((F_BEST - MU - 0.01) / SIGMA)
+        np.testing.assert_allclose(pi(MU, SIGMA, F_BEST), expected)
+
+    def test_probability_range(self):
+        pi = ProbabilityOfImprovement()
+        vals = pi(MU, SIGMA, F_BEST)
+        assert np.all((vals >= 0) & (vals <= 1))
+
+    def test_zero_sigma_degenerates_to_indicator(self):
+        pi = ProbabilityOfImprovement(xi=0.0)
+        vals = pi(np.array([-1.0, 1.0]), np.zeros(2), 0.0)
+        np.testing.assert_allclose(vals, [1.0, 0.0])
+
+    def test_lower_mean_preferred(self):
+        pi = ProbabilityOfImprovement()
+        vals = pi(np.array([-2.0, 0.5]), np.array([1.0, 1.0]), 0.0)
+        assert vals[0] > vals[1]
+
+
+class TestEI:
+    def test_matches_closed_form(self):
+        ei = ExpectedImprovement(xi=0.01)
+        d = F_BEST - MU - 0.01
+        z = d / SIGMA
+        expected = d * norm.cdf(z) + SIGMA * norm.pdf(z)
+        np.testing.assert_allclose(ei(MU, SIGMA, F_BEST), expected)
+
+    def test_nonnegative(self):
+        ei = ExpectedImprovement()
+        assert np.all(ei(MU, SIGMA, F_BEST) >= 0)
+
+    def test_zero_sigma_gives_zero(self):
+        ei = ExpectedImprovement()
+        np.testing.assert_allclose(ei(np.array([-5.0]), np.array([0.0]), 0.0),
+                                   [0.0])
+
+    def test_uncertainty_rewarded_at_equal_mean(self):
+        ei = ExpectedImprovement()
+        vals = ei(np.array([0.5, 0.5]), np.array([0.1, 2.0]), 0.0)
+        assert vals[1] > vals[0]
+
+
+class TestLCB:
+    def test_matches_closed_form(self):
+        lcb = LowerConfidenceBound(kappa=1.96)
+        np.testing.assert_allclose(lcb(MU, SIGMA, F_BEST),
+                                   -(MU - 1.96 * SIGMA))
+
+    def test_kappa_zero_is_pure_exploitation(self):
+        lcb = LowerConfidenceBound(kappa=0.0)
+        np.testing.assert_allclose(lcb(MU, SIGMA, F_BEST), -MU)
+
+    def test_kappa_validation(self):
+        with pytest.raises(ValueError):
+            LowerConfidenceBound(kappa=-1.0)
+
+    def test_ignores_f_best(self):
+        lcb = LowerConfidenceBound()
+        np.testing.assert_allclose(lcb(MU, SIGMA, 0.0), lcb(MU, SIGMA, 99.0))
+
+
+class TestDefaults:
+    def test_paper_knobs(self):
+        assert DEFAULT_XI == 0.01
+        assert DEFAULT_KAPPA == 1.96
+        assert ProbabilityOfImprovement().xi == DEFAULT_XI
+        assert LowerConfidenceBound().kappa == DEFAULT_KAPPA
+
+    def test_names(self):
+        assert ProbabilityOfImprovement().name == "PI"
+        assert ExpectedImprovement().name == "EI"
+        assert LowerConfidenceBound().name == "LCB"

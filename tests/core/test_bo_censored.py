@@ -1,0 +1,70 @@
+"""BO engine behaviour on objectives with failure (censored) regions."""
+
+import numpy as np
+import pytest
+
+from repro.core import BOEngine
+from repro.sampling import latin_hypercube
+from repro.sparksim import RunStatus
+from repro.tuners import SyntheticObjective, synthetic_space
+from repro.tuners.base import Evaluation
+
+
+class CliffObjective:
+    """Quadratic bowl with a hard failure wall at x0 > 0.7.
+
+    Mimics the simulator's OOM cliff: evaluations in the bad region
+    return the censored cap as their objective.
+    """
+
+    def __init__(self, seed=0, cap=480.0):
+        self._inner = SyntheticObjective(synthetic_space(4), n_effective=2,
+                                         noise=0.01, rng=seed)
+        self.space = self._inner.space
+        self.time_limit_s = cap
+        self.failures = 0
+
+    def __call__(self, u, time_limit_s=None):
+        u = np.asarray(u, dtype=float)
+        if u[0] > 0.7:
+            self.failures += 1
+            return Evaluation(vector=u.copy(),
+                              config=self.space.decode(u),
+                              objective=self.time_limit_s, cost_s=20.0,
+                              status=RunStatus.OOM)
+        return self._inner(u, time_limit_s)
+
+
+class TestCensoredRegions:
+    def test_engine_learns_to_avoid_the_cliff(self):
+        obj = CliffObjective(seed=1)
+        U = latin_hypercube(10, 4, rng=2)
+        initial = [obj(u) for u in U]
+        failures_before = obj.failures
+        engine = BOEngine(rng=3, n_candidates=128, refine=False)
+        evals = engine.minimize(obj, obj.space, initial, budget=30)
+        failures_during = obj.failures - failures_before
+        # The cliff covers 30% of the axis; BO should sample it far less
+        # than uniformly after seeing censored values there.
+        assert failures_during <= 0.2 * len(evals) + 1
+
+    def test_engine_still_optimizes_good_region(self):
+        obj = CliffObjective(seed=4)
+        U = latin_hypercube(10, 4, rng=5)
+        initial = [obj(u) for u in U]
+        engine = BOEngine(rng=6, n_candidates=128, refine=False)
+        evals = engine.minimize(obj, obj.space, initial, budget=30)
+        ok = [e.objective for e in evals if e.ok]
+        assert ok
+        assert min(ok) < min(e.objective for e in initial if e.ok)
+
+    def test_all_initial_failures_still_works(self):
+        """Even a training set of only censored values must not crash."""
+        obj = CliffObjective(seed=7)
+        U = np.column_stack([np.linspace(0.75, 0.95, 6),
+                             np.random.default_rng(8).random((6, 3))])
+        initial = [obj(u) for u in U]
+        assert all(not e.ok for e in initial)
+        engine = BOEngine(rng=9, n_candidates=64, refine=False)
+        evals = engine.minimize(obj, obj.space, initial, budget=10)
+        assert len(evals) == 10

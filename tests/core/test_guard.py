@@ -1,0 +1,54 @@
+"""Tests for the median-multiple bad-configuration guard."""
+
+import pytest
+
+from repro.core import MedianGuard
+
+
+class TestThreshold:
+    def test_static_limit_before_enough_observations(self):
+        guard = MedianGuard(3.0, static_limit_s=480.0, min_observations=5)
+        for t in (10.0, 12.0):
+            guard.observe(t, ok=True)
+        assert guard.threshold_s() == 480.0
+
+    def test_median_rule_after_enough_observations(self):
+        guard = MedianGuard(3.0, static_limit_s=480.0, min_observations=3)
+        for t in (10.0, 20.0, 30.0):
+            guard.observe(t, ok=True)
+        assert guard.threshold_s() == pytest.approx(60.0)
+
+    def test_never_exceeds_static_limit(self):
+        guard = MedianGuard(3.0, static_limit_s=100.0, min_observations=2)
+        for t in (90.0, 95.0):
+            guard.observe(t, ok=True)
+        assert guard.threshold_s() == 100.0
+
+    def test_no_limits_at_all(self):
+        guard = MedianGuard(3.0, static_limit_s=None, min_observations=3)
+        assert guard.threshold_s() is None
+
+    def test_failures_do_not_shape_median(self):
+        guard = MedianGuard(3.0, static_limit_s=None, min_observations=2)
+        guard.observe(10.0, ok=True)
+        guard.observe(10.0, ok=True)
+        guard.observe(480.0, ok=False)  # a killed run must not inflate it
+        assert guard.threshold_s() == pytest.approx(30.0)
+
+    def test_median_tracks_new_observations(self):
+        guard = MedianGuard(2.0, static_limit_s=None, min_observations=1)
+        guard.observe(10.0, ok=True)
+        assert guard.threshold_s() == pytest.approx(20.0)
+        guard.observe(100.0, ok=True)
+        guard.observe(100.0, ok=True)
+        assert guard.threshold_s() == pytest.approx(200.0)
+
+
+class TestValidation:
+    def test_multiplier_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            MedianGuard(1.0)
+
+    def test_min_observations_positive(self):
+        with pytest.raises(ValueError):
+            MedianGuard(2.0, min_observations=0)

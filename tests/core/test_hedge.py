@@ -1,0 +1,88 @@
+"""Tests for the GP-Hedge portfolio."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ExpectedImprovement, GPHedge, LowerConfidenceBound,
+                        ProbabilityOfImprovement)
+
+
+class TestPortfolio:
+    def test_default_portfolio_is_pi_ei_lcb(self):
+        hedge = GPHedge(rng=0)
+        assert hedge.names == ["PI", "EI", "LCB"]
+
+    def test_initial_probabilities_uniform(self):
+        hedge = GPHedge(rng=0)
+        np.testing.assert_allclose(hedge.probabilities(), 1 / 3)
+
+    def test_probabilities_sum_to_one_always(self):
+        hedge = GPHedge(rng=0)
+        hedge.update(np.array([100.0, -50.0, 3.0]))
+        p = hedge.probabilities()
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_rewarded_function_gains_probability(self):
+        hedge = GPHedge(rng=0)
+        for _ in range(5):
+            hedge.update(np.array([1.0, 0.0, 0.0]))
+        p = hedge.probabilities()
+        assert p[0] > 0.8
+        assert np.argmax(p) == 0
+
+    def test_extreme_gains_numerically_stable(self):
+        hedge = GPHedge(rng=0)
+        hedge.update(np.array([1e6, 0.0, -1e6]))
+        p = hedge.probabilities()
+        assert np.isfinite(p).all()
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestChoose:
+    def test_choice_respects_distribution(self):
+        hedge = GPHedge(rng=1)
+        hedge.update(np.array([50.0, 0.0, 0.0]))
+        nominees = np.arange(6.0).reshape(3, 2)
+        picks = [hedge.choose(nominees).chosen_index for _ in range(50)]
+        assert np.mean(np.array(picks) == 0) > 0.9
+
+    def test_choice_records_nominees(self):
+        hedge = GPHedge(rng=2)
+        nominees = np.random.default_rng(0).random((3, 4))
+        choice = hedge.choose(nominees)
+        np.testing.assert_array_equal(choice.nominees, nominees)
+        assert choice.chosen_name == hedge.names[choice.chosen_index]
+
+    def test_wrong_nominee_count_rejected(self):
+        hedge = GPHedge(rng=0)
+        with pytest.raises(ValueError):
+            hedge.choose(np.zeros((2, 4)))
+
+    def test_wrong_reward_shape_rejected(self):
+        hedge = GPHedge(rng=0)
+        with pytest.raises(ValueError):
+            hedge.update(np.zeros(2))
+
+
+class TestCustomPortfolio:
+    def test_single_function_portfolio(self):
+        hedge = GPHedge([ExpectedImprovement()], rng=0)
+        choice = hedge.choose(np.zeros((1, 3)))
+        assert choice.chosen_index == 0
+        assert choice.chosen_name == "EI"
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            GPHedge([])
+
+    def test_eta_validation(self):
+        with pytest.raises(ValueError):
+            GPHedge(eta=0.0)
+
+    def test_eta_sharpens_distribution(self):
+        soft = GPHedge(eta=0.1, rng=0)
+        sharp = GPHedge(eta=5.0, rng=0)
+        for h in (soft, sharp):
+            h.update(np.array([1.0, 0.0, 0.0]))
+        assert sharp.probabilities()[0] > soft.probabilities()[0]

@@ -1,0 +1,107 @@
+"""Tests for the parameter-selection cache and config memoization buffer."""
+
+import json
+
+import pytest
+
+from repro.core import ConfigMemoizationBuffer, ParameterSelectionCache
+
+
+class TestParameterSelectionCache:
+    def test_miss_returns_none(self):
+        cache = ParameterSelectionCache()
+        assert cache.get("pagerank") is None
+        assert "pagerank" not in cache
+
+    def test_put_and_get(self):
+        cache = ParameterSelectionCache()
+        cache.put("pagerank", ["a", "b"])
+        assert cache.get("pagerank") == ["a", "b"]
+        assert "pagerank" in cache
+        assert len(cache) == 1
+
+    def test_returned_list_is_a_copy(self):
+        cache = ParameterSelectionCache()
+        cache.put("wl", ["a"])
+        cache.get("wl").append("mutated")
+        assert cache.get("wl") == ["a"]
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSelectionCache().put("wl", [])
+
+    def test_invalidate(self):
+        cache = ParameterSelectionCache()
+        cache.put("wl", ["a"])
+        cache.invalidate("wl")
+        assert cache.get("wl") is None
+        cache.invalidate("never-existed")  # no-op
+
+    def test_json_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ParameterSelectionCache(path)
+        cache.put("pagerank", ["spark.executor.cores"])
+        reloaded = ParameterSelectionCache(path)
+        assert reloaded.get("pagerank") == ["spark.executor.cores"]
+        assert json.loads(path.read_text()) == {
+            "pagerank": ["spark.executor.cores"]}
+
+
+class TestConfigMemoizationBuffer:
+    def test_miss_is_empty(self):
+        buf = ConfigMemoizationBuffer()
+        assert buf.best("pagerank") == []
+        assert "pagerank" not in buf
+
+    def test_best_sorted_by_objective(self):
+        buf = ConfigMemoizationBuffer()
+        buf.add("wl", {"p": 1}, 30.0)
+        buf.add("wl", {"p": 2}, 10.0)
+        buf.add("wl", {"p": 3}, 20.0)
+        best = buf.best("wl", 2)
+        assert [m.objective for m in best] == [10.0, 20.0]
+        assert best[0].config == {"p": 2}
+
+    def test_capacity_evicts_worst(self):
+        buf = ConfigMemoizationBuffer(capacity=2)
+        for i, t in enumerate((30.0, 10.0, 20.0)):
+            buf.add("wl", {"i": i}, t)
+        kept = [m.objective for m in buf.best("wl", 10)]
+        assert kept == [10.0, 20.0]
+
+    def test_worse_than_worst_into_full_buffer_dropped(self):
+        buf = ConfigMemoizationBuffer(capacity=2)
+        buf.add("wl", {}, 10.0)
+        buf.add("wl", {}, 20.0)
+        buf.add("wl", {}, 99.0)
+        assert [m.objective for m in buf.best("wl", 10)] == [10.0, 20.0]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            ConfigMemoizationBuffer().best("wl", -1)
+        with pytest.raises(ValueError):
+            ConfigMemoizationBuffer(capacity=0)
+
+    def test_dataset_tag_recorded(self):
+        buf = ConfigMemoizationBuffer()
+        buf.add("wl", {"p": 1}, 5.0, dataset="D2")
+        assert buf.best("wl")[0].dataset == "D2"
+
+    def test_json_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "memo.json"
+        buf = ConfigMemoizationBuffer(path)
+        buf.add("pagerank", {"spark.executor.cores": 8}, 42.5, dataset="D1")
+        reloaded = ConfigMemoizationBuffer(path)
+        best = reloaded.best("pagerank")
+        assert best[0].objective == 42.5
+        assert best[0].config == {"spark.executor.cores": 8}
+        assert best[0].dataset == "D1"
+
+    def test_empty_buffer_is_falsy_but_shareable(self):
+        """Regression test: ROBOTune must keep a passed-in empty store."""
+        from repro.core import ROBOTune
+        buf = ConfigMemoizationBuffer()
+        cache = ParameterSelectionCache()
+        tuner = ROBOTune(selection_cache=cache, memo_buffer=buf)
+        assert tuner.memo_buffer is buf
+        assert tuner.selection_cache is cache

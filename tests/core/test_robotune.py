@@ -1,0 +1,136 @@
+"""Tests for the full ROBOTune orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ConfigMemoizationBuffer, ParameterSelectionCache,
+                        ParameterSelector, ROBOTune)
+from repro.tuners import SyntheticObjective, synthetic_space
+
+
+def make_tuner(cache=None, memo=None, seed=0, **kw):
+    defaults = dict(
+        selector=ParameterSelector(n_samples=40, n_trees=40, n_repeats=3,
+                                   rng=seed),
+        selection_cache=cache, memo_buffer=memo, rng=seed,
+        engine_kwargs={"n_candidates": 64, "refine": False},
+    )
+    defaults.update(kw)
+    return ROBOTune(**defaults)
+
+
+def make_objective(seed=0, dim=10, name="synth", dataset="D1"):
+    return SyntheticObjective(synthetic_space(dim), n_effective=3, rng=seed,
+                              name=name, dataset=dataset)
+
+
+class TestColdSession:
+    def test_full_pipeline(self):
+        tuner = make_tuner(seed=1)
+        result = tuner.tune(make_objective(seed=2), budget=40, rng=3)
+        assert result.tuner == "ROBOTune"
+        assert result.n_evaluations == 40
+        assert not result.selection_cache_hit
+        assert result.selection is not None
+        assert result.selection_cost_s > 0
+        assert result.selected_parameters
+        assert result.reduced_space is not None
+        assert result.reduced_space.dim <= 10
+        assert result.best_time_s < 100.0
+
+    def test_selection_cost_excluded_from_search_cost(self):
+        tuner = make_tuner(seed=4)
+        result = tuner.tune(make_objective(seed=5), budget=30, rng=6)
+        eval_cost = sum(e.cost_s for e in result.evaluations)
+        assert result.search_cost_s == pytest.approx(eval_cost)
+
+    def test_initial_design_size(self):
+        tuner = make_tuner(seed=7, init_samples=12)
+        result = tuner.tune(make_objective(seed=8), budget=30, rng=9)
+        assert len(result.bo_records) == 30 - 12
+
+    def test_budget_smaller_than_init(self):
+        tuner = make_tuner(seed=10)
+        result = tuner.tune(make_objective(seed=11), budget=5, rng=12)
+        assert result.n_evaluations == 5
+        assert result.bo_records == []
+
+    def test_beats_pure_initial_design(self):
+        tuner = make_tuner(seed=13)
+        result = tuner.tune(make_objective(seed=14), budget=50, rng=15)
+        init_best = min(e.objective for e in result.evaluations[:20])
+        assert result.best_time_s <= init_best
+
+
+class TestMemoizedSession:
+    def test_cache_hit_skips_selection(self):
+        cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+        tuner = make_tuner(cache, memo, seed=16)
+        obj = make_objective(seed=17)
+        first = tuner.tune(obj, budget=30, rng=18)
+        before = obj.n_evaluations
+        second = tuner.tune(make_objective(seed=19), budget=30, rng=20)
+        assert not first.selection_cache_hit
+        assert second.selection_cache_hit
+        assert second.selection_cost_s == 0.0
+        assert second.selected_parameters == first.selected_parameters
+
+    def test_memoized_configs_seed_initial_design(self):
+        cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+        tuner = make_tuner(cache, memo, seed=21)
+        first = tuner.tune(make_objective(seed=22), budget=30, rng=23)
+        stored = memo.best("synth", 10)
+        assert len(stored) == 4
+        assert stored[0].objective == pytest.approx(first.best_time_s)
+        # Warm session on a "new dataset" pulls them into the design.
+        second = tuner.tune(make_objective(seed=24, dataset="D2"),
+                            budget=30, rng=25)
+        assert second.memoized_used == 4
+        # The first few evaluations re-run memoized configs: near-optimal.
+        early = min(e.objective for e in second.evaluations[:4])
+        assert early <= first.best_time_s * 1.5
+
+    def test_anonymous_objective_skips_caches(self):
+        cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+        tuner = make_tuner(cache, memo, seed=26)
+        obj = SyntheticObjective(synthetic_space(10), n_effective=3, rng=27)
+        result = tuner.tune(obj, budget=25, rng=28)
+        assert not result.selection_cache_hit
+        assert len(cache) == 0
+        assert len(memo) == 0
+
+    def test_zero_memo_configs_disables_reuse(self):
+        tuner = make_tuner(seed=24, memo_configs=0)
+        result = tuner.tune(make_objective(seed=25), budget=25, rng=26)
+        assert result.memoized_used == 0
+
+
+class TestValidation:
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            make_tuner().tune(make_objective(), budget=0)
+
+    def test_bad_init_samples(self):
+        with pytest.raises(ValueError):
+            ROBOTune(init_samples=1)
+
+    def test_bad_memo_configs(self):
+        with pytest.raises(ValueError):
+            ROBOTune(init_samples=10, memo_configs=11)
+
+    def test_objective_must_support_with_space(self):
+        inner = SyntheticObjective(synthetic_space(4), n_effective=2, rng=0)
+
+        class Bare:
+            """Evaluable, but cannot be re-bound to a reduced space."""
+
+            space = inner.space
+            time_limit_s = inner.time_limit_s
+
+            def __call__(self, u, t=None):
+                return inner(u, t)
+
+        tuner = make_tuner(seed=0, selector=ParameterSelector(
+            n_samples=12, n_trees=10, n_repeats=2, rng=0))
+        with pytest.raises(TypeError):
+            tuner.tune(Bare(), budget=15, rng=1)

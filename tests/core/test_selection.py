@@ -1,0 +1,82 @@
+"""Tests for Random-Forests parameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterSelector
+from repro.tuners import SyntheticObjective, synthetic_space
+
+
+def selector(**kw):
+    defaults = dict(n_samples=60, n_trees=60, n_repeats=4, rng=0)
+    defaults.update(kw)
+    return ParameterSelector(**defaults)
+
+
+class TestSelection:
+    def test_finds_effective_dimensions(self):
+        space = synthetic_space(12)
+        objective = SyntheticObjective(space, n_effective=3, rng=1)
+        result = selector(rng=2).run(objective, space)
+        assert set(result.selected) >= {"x0", "x1", "x2"} or \
+            len(set(result.selected) & {"x0", "x1", "x2"}) >= 2
+        # Inert dimensions should mostly be pruned.
+        assert len(result.selected) <= 6
+
+    def test_importances_cover_all_groups(self):
+        space = synthetic_space(8)
+        objective = SyntheticObjective(space, n_effective=2, rng=3)
+        result = selector(rng=4).run(objective, space)
+        assert len(result.importances) == len(space.groups())
+        vals = [g.importance for g in result.importances]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_min_select_floor(self):
+        space = synthetic_space(6)
+        # Nearly flat objective: nothing passes the threshold.
+        objective = SyntheticObjective(space, n_effective=1, scale=0.001,
+                                       rng=5)
+        result = selector(rng=6, min_select=3, threshold=0.5).run(objective,
+                                                                  space)
+        assert len(result.selected_groups) == 3
+
+    def test_max_select_cap(self):
+        space = synthetic_space(10)
+        objective = SyntheticObjective(space, n_effective=5, rng=7)
+        result = selector(rng=8, max_select=2).run(objective, space)
+        assert len(result.selected_groups) <= 2
+
+    def test_cost_accounts_all_samples(self):
+        space = synthetic_space(6)
+        objective = SyntheticObjective(space, n_effective=2, rng=9)
+        sel = selector(rng=10)
+        evals = sel.collect(objective, space)
+        result = sel.select(space, evals)
+        assert result.n_samples == 60
+        assert result.cost_s == pytest.approx(sum(e.cost_s for e in evals))
+
+    def test_selected_order_follows_importance(self):
+        space = synthetic_space(10)
+        objective = SyntheticObjective(space, n_effective=3, rng=11)
+        result = selector(rng=12).run(objective, space)
+        order = {g.group: i for i, g in enumerate(result.importances)}
+        ranks = [order[g] for g in result.selected_groups]
+        assert ranks == sorted(ranks)
+
+
+class TestValidation:
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSelector(n_samples=5)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSelector(threshold=0.0)
+
+    def test_select_needs_enough_evaluations(self):
+        space = synthetic_space(4)
+        objective = SyntheticObjective(space, rng=0)
+        sel = selector()
+        evals = sel.collect(objective, space, n_samples=5)
+        with pytest.raises(ValueError):
+            sel.select(space, evals)

@@ -1,0 +1,81 @@
+"""Tests for cross-workload mapping (the OtterTune-style extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkloadMapper
+from repro.space import spark_space
+from repro.tuners import WorkloadObjective
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return spark_space()
+
+
+def objective(name, dataset="D1", seed=0, space=None):
+    return WorkloadObjective(get_workload(name, dataset), space, rng=seed)
+
+
+class TestSignatures:
+    def test_probe_design_is_stable(self, space):
+        a = WorkloadMapper(space, n_probes=8)
+        b = WorkloadMapper(space, n_probes=8)
+        np.testing.assert_array_equal(a.probes, b.probes)
+
+    def test_signature_shape_and_cost(self, space):
+        mapper = WorkloadMapper(space, n_probes=8)
+        sig, cost = mapper.signature(objective("terasort", space=space))
+        assert sig.shape == (8,)
+        assert cost > 0
+
+    def test_register_validation(self, space):
+        mapper = WorkloadMapper(space, n_probes=8)
+        with pytest.raises(ValueError):
+            mapper.register("x", np.zeros(5), ["p"])
+        with pytest.raises(ValueError):
+            mapper.register("x", np.zeros(8), [])
+
+
+class TestMapping:
+    def test_same_workload_different_dataset_matches(self, space):
+        mapper = WorkloadMapper(space, n_probes=10, threshold=0.7)
+        sig, _ = mapper.signature(objective("pagerank", "D1", seed=1,
+                                            space=space))
+        mapper.register("pagerank", sig, ["spark.executor.cores"])
+        result = mapper.map(objective("pagerank", "D3", seed=2, space=space))
+        assert result.matched == "pagerank"
+        assert result.correlation >= 0.7
+        assert mapper.selected_for("pagerank") == ["spark.executor.cores"]
+
+    def test_similar_family_matches(self, space):
+        """CC behaves like PR (both cached-graph iterative shuffles)."""
+        mapper = WorkloadMapper(space, n_probes=10, threshold=0.7)
+        sig, _ = mapper.signature(objective("pagerank", "D1", seed=3,
+                                            space=space))
+        mapper.register("pagerank", sig, ["spark.executor.cores"])
+        result = mapper.map(objective("connectedcomponents", "D1", seed=4,
+                                      space=space))
+        assert result.matched == "pagerank"
+
+    def test_no_registered_workloads_returns_none(self, space):
+        mapper = WorkloadMapper(space, n_probes=8)
+        result = mapper.map(objective("kmeans", space=space, seed=5))
+        assert result.matched is None
+        assert result.probe_cost_s > 0
+
+    def test_threshold_blocks_weak_matches(self, space):
+        mapper = WorkloadMapper(space, n_probes=10, threshold=0.999)
+        sig, _ = mapper.signature(objective("terasort", "D1", seed=6,
+                                            space=space))
+        mapper.register("terasort", sig, ["spark.default.parallelism"])
+        result = mapper.map(objective("kmeans", "D1", seed=7, space=space))
+        # With an extreme threshold, even plausible matches are rejected.
+        assert result.matched is None
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            WorkloadMapper(space, n_probes=2)
+        with pytest.raises(ValueError):
+            WorkloadMapper(space, threshold=0.0)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full ROBOTune pipeline on the
+simulated cluster, at reduced budget so the suite stays fast."""
+
+import numpy as np
+import pytest
+
+from repro import (ConfigMemoizationBuffer, ParameterSelectionCache,
+                   ParameterSelector, ROBOTune, RandomSearch, SparkConf,
+                   SparkSimulator, WorkloadObjective, get_workload,
+                   spark_space)
+
+BUDGET = 40
+
+
+@pytest.fixture(scope="module")
+def space():
+    return spark_space()
+
+
+@pytest.fixture(scope="module")
+def pr_session(space):
+    """One cold ROBOTune session on PageRank-D1 (shared by assertions)."""
+    cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+    tuner = ROBOTune(
+        selector=ParameterSelector(n_samples=60, n_trees=60, n_repeats=3,
+                                   rng=1),
+        selection_cache=cache, memo_buffer=memo, rng=2)
+    objective = WorkloadObjective(get_workload("pagerank", "D1"), space,
+                                  rng=3)
+    result = tuner.tune(objective, BUDGET, rng=4)
+    return tuner, cache, memo, result
+
+
+class TestColdSession:
+    def test_finds_configuration_beating_oom_default(self, pr_session,
+                                                     space):
+        _, _, _, result = pr_session
+        sim = SparkSimulator()
+        stages = get_workload("pagerank", "D1").build_stages()
+        assert not sim.run(stages, SparkConf(), rng=0).ok  # default OOMs
+        tuned = sim.run(stages, result.best_config, rng=0)
+        assert tuned.ok
+        assert tuned.duration_s < 120.0
+
+    def test_selects_executor_sizing(self, pr_session):
+        _, _, _, result = pr_session
+        selected = set(result.selected_parameters)
+        assert "spark.executor.cores" in selected
+        assert "spark.executor.memory" in selected
+
+    def test_caches_populated(self, pr_session):
+        _, cache, memo, _ = pr_session
+        assert cache.get("pagerank")
+        assert len(memo.best("pagerank", 10)) >= 1
+
+    def test_search_cost_bounded_by_budget_times_cap(self, pr_session):
+        _, _, _, result = pr_session
+        assert result.search_cost_s <= BUDGET * 480.0
+
+    def test_best_within_evaluated_configs(self, pr_session):
+        _, _, _, result = pr_session
+        ok_times = [e.objective for e in result.evaluations if e.ok]
+        assert result.best_time_s == min(ok_times)
+
+
+class TestWarmSession:
+    def test_same_workload_new_dataset_faster_convergence(self, pr_session,
+                                                          space):
+        tuner, _, _, cold = pr_session
+        objective = WorkloadObjective(get_workload("pagerank", "D3"), space,
+                                      rng=5)
+        warm = tuner.tune(objective, BUDGET, rng=6)
+        assert warm.selection_cache_hit
+        assert warm.memoized_used > 0
+        assert warm.selection_cost_s == 0.0
+        # The warm session's very first evaluations should already be good:
+        # within 2x of the session best (cold sessions start anywhere).
+        early = min(e.objective for e in warm.evaluations[:4] if e.ok)
+        assert early <= warm.best_time_s * 2.0
+
+
+class TestAgainstBaseline:
+    def test_robotune_search_cost_beats_random_search(self, pr_session,
+                                                      space):
+        _, _, _, robo = pr_session
+        objective = WorkloadObjective(get_workload("pagerank", "D1"), space,
+                                      rng=7)
+        rs = RandomSearch().tune(objective, BUDGET, rng=8)
+        assert robo.search_cost_s < rs.search_cost_s
+        # And best-found configs are at least competitive.
+        assert robo.best_time_s <= rs.best_time_s * 1.25
+
+
+class TestOtherWorkloads:
+    @pytest.mark.parametrize("name", ["kmeans", "terasort"])
+    def test_pipeline_runs_on(self, name, space):
+        tuner = ROBOTune(
+            selector=ParameterSelector(n_samples=40, n_trees=40,
+                                       n_repeats=2, rng=10),
+            rng=11, engine_kwargs={"n_candidates": 128, "refine": False})
+        objective = WorkloadObjective(get_workload(name, "D1"), space,
+                                      rng=12)
+        result = tuner.tune(objective, 30, rng=13)
+        assert result.n_evaluations == 30
+        assert result.best_time_s < 480.0

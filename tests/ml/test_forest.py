@@ -1,0 +1,103 @@
+"""Tests for Random Forests and Extremely Randomized Trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml import ExtraTreesRegressor, RandomForestRegressor
+
+
+def make_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 5))
+    y = 4 * X[:, 0] + np.sin(6 * X[:, 1]) + rng.normal(0, 0.05, n)
+    return X, y
+
+
+class TestFit:
+    def test_train_r2_high(self):
+        X, y = make_data()
+        rf = RandomForestRegressor(60, rng=1).fit(X, y)
+        assert rf.score(X, y) > 0.9
+
+    def test_generalization_beats_mean(self):
+        X, y = make_data(seed=1)
+        Xq, yq = make_data(seed=2)
+        rf = RandomForestRegressor(60, rng=1).fit(X, y)
+        assert rf.score(Xq, yq) > 0.7
+
+    def test_extra_trees_also_fits(self):
+        X, y = make_data()
+        et = ExtraTreesRegressor(60, rng=1).fit(X, y)
+        assert et.score(X, y) > 0.85
+
+    def test_prediction_is_tree_average(self):
+        X, y = make_data(n=60)
+        rf = RandomForestRegressor(10, rng=2).fit(X, y)
+        manual = np.mean([t.predict(X) for t in rf.trees_], axis=0)
+        np.testing.assert_allclose(rf.predict(X), manual)
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(5).fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            RandomForestRegressor(5).fit(np.zeros((5, 2)), np.zeros(7))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor(5).predict(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, y = make_data(n=80)
+        a = RandomForestRegressor(20, rng=7).fit(X, y).predict(X)
+        b = RandomForestRegressor(20, rng=7).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+
+class TestOOB:
+    def test_oob_mask_consistent_with_bootstrap(self):
+        X, y = make_data(n=50)
+        rf = RandomForestRegressor(20, rng=3).fit(X, y)
+        # Roughly 1/e ~ 37% of samples OOB per tree.
+        frac = rf.oob_mask_.mean()
+        assert 0.25 < frac < 0.5
+
+    def test_oob_score_reasonable(self):
+        X, y = make_data()
+        rf = RandomForestRegressor(80, rng=4).fit(X, y)
+        oob = rf.oob_score()
+        assert 0.5 < oob <= 1.0
+        # OOB is a generalization estimate: below training score.
+        assert oob <= rf.score(X, y)
+
+    def test_oob_prediction_permuted_column_drops_score(self):
+        X, y = make_data()
+        rf = RandomForestRegressor(80, rng=5).fit(X, y)
+        base = rf.oob_score()
+        Xp = X.copy()
+        Xp[:, 0] = np.random.default_rng(6).permutation(Xp[:, 0])
+        assert rf.oob_score(Xp) < base - 0.1
+
+    def test_oob_requires_bootstrap(self):
+        X, y = make_data(n=40)
+        rf = RandomForestRegressor(10, bootstrap=False, rng=1).fit(X, y)
+        with pytest.raises(RuntimeError):
+            rf.oob_score()
+
+    def test_oob_prediction_shape_validation(self):
+        X, y = make_data(n=40)
+        rf = RandomForestRegressor(10, rng=1).fit(X, y)
+        with pytest.raises(ValueError):
+            rf.oob_prediction(X[:10])
+
+
+class TestFeatureImportances:
+    def test_mdi_identifies_informative_features(self):
+        X, y = make_data()
+        rf = RandomForestRegressor(60, rng=8).fit(X, y)
+        imp = rf.feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        assert set(np.argsort(imp)[-2:]) == {0, 1}

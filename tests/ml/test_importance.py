@@ -1,0 +1,77 @@
+"""Tests for grouped MDA permutation importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestRegressor, grouped_permutation_importance
+
+
+def fit_forest(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 6))
+    # y depends on x0 strongly, on (x1, x2) jointly, never on x3..x5.
+    y = 5 * X[:, 0] + 2 * np.sin(4 * X[:, 1]) * np.sign(X[:, 2] - 0.5) \
+        + rng.normal(0, 0.05, n)
+    forest = RandomForestRegressor(100, rng=seed).fit(X, y)
+    return forest
+
+
+class TestRanking:
+    def test_informative_singleton_ranks_first(self):
+        forest = fit_forest()
+        groups = {f"f{i}": [i] for i in range(6)}
+        imps = grouped_permutation_importance(forest, groups, n_repeats=5,
+                                              rng=1)
+        assert imps[0].group == "f0"
+        assert imps[0].importance > 0.2
+
+    def test_noise_features_near_zero(self):
+        forest = fit_forest()
+        groups = {f"f{i}": [i] for i in range(6)}
+        imps = {g.group: g.importance
+                for g in grouped_permutation_importance(forest, groups,
+                                                        n_repeats=5, rng=2)}
+        for f in ("f3", "f4", "f5"):
+            assert abs(imps[f]) < 0.05
+
+    def test_joint_group_beats_individual_members(self):
+        """Permuting the interacting pair together destroys more signal
+        than permuting either column alone."""
+        forest = fit_forest()
+        single = grouped_permutation_importance(
+            forest, {"x1": [1], "x2": [2]}, n_repeats=8, rng=3)
+        joint = grouped_permutation_importance(
+            forest, {"x1x2": [1, 2]}, n_repeats=8, rng=3)
+        best_single = max(g.importance for g in single)
+        assert joint[0].importance > best_single
+
+    def test_results_sorted_descending(self):
+        forest = fit_forest()
+        groups = {f"f{i}": [i] for i in range(6)}
+        imps = grouped_permutation_importance(forest, groups, n_repeats=3,
+                                              rng=4)
+        vals = [g.importance for g in imps]
+        assert vals == sorted(vals, reverse=True)
+
+
+class TestValidation:
+    def test_rejects_empty_group(self):
+        forest = fit_forest(n=60)
+        with pytest.raises(ValueError):
+            grouped_permutation_importance(forest, {"g": []}, rng=0)
+
+    def test_rejects_out_of_range_columns(self):
+        forest = fit_forest(n=60)
+        with pytest.raises(IndexError):
+            grouped_permutation_importance(forest, {"g": [99]}, rng=0)
+
+    def test_rejects_zero_repeats(self):
+        forest = fit_forest(n=60)
+        with pytest.raises(ValueError):
+            grouped_permutation_importance(forest, {"g": [0]}, n_repeats=0)
+
+    def test_std_zero_for_single_repeat(self):
+        forest = fit_forest(n=60)
+        imps = grouped_permutation_importance(forest, {"g": [0]},
+                                              n_repeats=1, rng=1)
+        assert imps[0].std == 0.0

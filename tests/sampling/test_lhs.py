@@ -1,0 +1,74 @@
+"""Tests for Latin Hypercube Sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import (latin_hypercube, maximin_latin_hypercube,
+                            min_pairwise_distance)
+
+
+class TestLatinProperty:
+    @given(st.integers(2, 40), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_one_sample_per_stratum_every_axis(self, n, dim):
+        """The defining LHS property (McKay et al.): each of the n
+        equal-probability intervals of every axis holds exactly one point."""
+        U = latin_hypercube(n, dim, rng=7)
+        strata = np.floor(U * n).astype(int)
+        for j in range(dim):
+            assert sorted(strata[:, j]) == list(range(n))
+
+    def test_values_in_unit_cube(self):
+        U = latin_hypercube(100, 44, rng=1)
+        assert U.min() >= 0.0 and U.max() < 1.0
+
+    def test_centered_points_at_cell_midpoints(self):
+        U = latin_hypercube(4, 2, rng=2, centered=True)
+        frac = (U * 4) % 1.0
+        np.testing.assert_allclose(frac, 0.5)
+
+    def test_deterministic_given_seed(self):
+        a = latin_hypercube(10, 3, rng=42)
+        b = latin_hypercube(10, 3, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(0, 3)
+        with pytest.raises(ValueError):
+            latin_hypercube(5, 0)
+
+
+class TestMaximin:
+    def test_maximin_is_still_latin(self):
+        n, dim = 15, 4
+        U = maximin_latin_hypercube(n, dim, rng=3, n_candidates=10)
+        strata = np.floor(U * n).astype(int)
+        for j in range(dim):
+            assert sorted(strata[:, j]) == list(range(n))
+
+    def test_maximin_beats_median_single_draw(self):
+        rng = np.random.default_rng(4)
+        singles = [min_pairwise_distance(latin_hypercube(20, 5, rng))
+                   for _ in range(30)]
+        best = min_pairwise_distance(
+            maximin_latin_hypercube(20, 5, rng=5, n_candidates=20))
+        assert best >= np.median(singles)
+
+    def test_rejects_zero_candidates(self):
+        with pytest.raises(ValueError):
+            maximin_latin_hypercube(5, 2, n_candidates=0)
+
+
+class TestMinPairwiseDistance:
+    def test_known_value(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        assert min_pairwise_distance(pts) == pytest.approx(1.0)
+
+    def test_single_point_is_inf(self):
+        assert min_pairwise_distance(np.array([[0.5, 0.5]])) == np.inf
+
+    def test_duplicate_points_zero(self):
+        pts = np.array([[0.2, 0.2], [0.2, 0.2]])
+        assert min_pairwise_distance(pts) == pytest.approx(0.0, abs=1e-7)

@@ -1,0 +1,30 @@
+"""Tests for uniform random sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import uniform_samples
+
+
+def test_shape_and_range():
+    U = uniform_samples(50, 7, rng=1)
+    assert U.shape == (50, 7)
+    assert U.min() >= 0.0 and U.max() < 1.0
+
+
+def test_deterministic_given_seed():
+    np.testing.assert_array_equal(uniform_samples(5, 2, rng=9),
+                                  uniform_samples(5, 2, rng=9))
+
+
+def test_rejects_bad_args():
+    with pytest.raises(ValueError):
+        uniform_samples(0, 3)
+    with pytest.raises(ValueError):
+        uniform_samples(3, -1)
+
+
+def test_roughly_uniform_marginals():
+    U = uniform_samples(4000, 2, rng=3)
+    hist, _ = np.histogram(U[:, 0], bins=10, range=(0, 1))
+    assert hist.min() > 300  # each decile near 400

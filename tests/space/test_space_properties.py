@@ -1,0 +1,54 @@
+"""Property tests over the full 44-parameter Spark space."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.space import spark_space
+
+SPACE = spark_space()
+unit_vectors = st.lists(st.floats(0.0, 1.0), min_size=SPACE.dim,
+                        max_size=SPACE.dim).map(np.array)
+
+
+class TestRoundTrips:
+    @given(unit_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_decode_encode_decode_stable(self, u):
+        """Native configurations are fixed points of encode∘decode."""
+        conf = SPACE.decode(u)
+        conf2 = SPACE.decode(SPACE.encode(conf))
+        assert conf == conf2
+
+    @given(unit_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_snap_idempotent(self, u):
+        s1 = SPACE.snap(u)
+        np.testing.assert_allclose(SPACE.snap(s1), s1)
+
+    @given(unit_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_every_decode_is_valid(self, u):
+        assert SPACE.validate(SPACE.decode(u)) == []
+
+    @given(unit_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_snap_preserves_decoded_config(self, u):
+        """Snapping must not change which native config a vector means."""
+        assert SPACE.decode(u) == SPACE.decode(SPACE.snap(u))
+
+
+class TestSubspaceProperties:
+    @given(unit_vectors, st.sets(st.integers(0, SPACE.dim - 1), min_size=1,
+                                 max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_subspace_decode_consistent_with_base(self, u, idxs):
+        """A subspace decode equals the base config except on the
+        selected coordinates."""
+        base = SPACE.decode(u)
+        names = [SPACE.names[i] for i in sorted(idxs)]
+        sub = SPACE.subspace(names, base=base)
+        v = np.random.default_rng(0).random(sub.dim)
+        conf = sub.decode(v)
+        for name in SPACE.names:
+            if name not in names:
+                assert conf[name] == base[name]

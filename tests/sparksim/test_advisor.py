@@ -1,0 +1,84 @@
+"""Tests for the static configuration advisor."""
+
+import pytest
+
+from repro.sparksim import SparkConf
+from repro.sparksim.advisor import advise
+
+
+def codes(conf):
+    return {w.code for w in advise(conf)}
+
+
+class TestFatal:
+    def test_unplaceable_memory(self):
+        ws = advise({"spark.executor.memory": 300 * 1024})
+        assert ws[0].code == "no-placement"
+        assert ws[0].severity == "fatal"
+
+    def test_no_task_slots(self):
+        ws = advise({"spark.executor.cores": 2, "spark.task.cpus": 4})
+        assert ws[0].code == "no-task-slots"
+
+
+class TestWarnings:
+    def test_clean_config_mostly_silent(self):
+        conf = {"spark.executor.cores": 8,
+                "spark.executor.memory": 24 * 1024,
+                "spark.executor.instances": 15,
+                "spark.default.parallelism": 240}
+        assert not any(w.severity == "fatal" for w in advise(conf))
+        assert "tiny-task-memory" not in codes(conf)
+
+    def test_spark_defaults_warn_about_heap(self):
+        found = codes({})
+        assert "heap-mostly-reserved" in found
+
+    def test_cores_stranded_by_giant_memory(self):
+        found = codes({"spark.executor.cores": 4,
+                       "spark.executor.memory": 170 * 1024,
+                       "spark.executor.instances": 10})
+        assert "cores-stranded" in found
+
+    def test_fewer_executors_than_requested(self):
+        found = codes({"spark.executor.cores": 16,
+                       "spark.executor.instances": 40})
+        assert "fewer-executors" in found
+
+    def test_tiny_task_memory(self):
+        found = codes({"spark.executor.cores": 32,
+                       "spark.executor.memory": 4096,
+                       "spark.executor.instances": 5})
+        assert "tiny-task-memory" in found
+
+    def test_under_parallelized(self):
+        found = codes({"spark.executor.cores": 8,
+                       "spark.executor.memory": 16 * 1024,
+                       "spark.executor.instances": 20,
+                       "spark.default.parallelism": 16})
+        assert "under-parallelized" in found
+
+    def test_over_parallelized(self):
+        found = codes({"spark.executor.cores": 2,
+                       "spark.executor.memory": 8 * 1024,
+                       "spark.executor.instances": 2,
+                       "spark.default.parallelism": 1024})
+        assert "over-parallelized" in found
+
+    def test_small_kryo_buffer(self):
+        found = codes({"spark.executor.cores": 8,
+                       "spark.executor.memory": 16 * 1024,
+                       "spark.serializer": "kryo",
+                       "spark.kryoserializer.buffer.max": 8})
+        assert "small-kryo-buffer" in found
+
+    def test_aggressive_speculation(self):
+        found = codes({"spark.executor.cores": 8,
+                       "spark.executor.memory": 16 * 1024,
+                       "spark.speculation": True,
+                       "spark.speculation.multiplier": 1.1})
+        assert "aggressive-speculation" in found
+
+    def test_fatal_sorted_first(self):
+        ws = advise({"spark.executor.memory": 300 * 1024})
+        assert ws[0].severity == "fatal"

@@ -1,0 +1,64 @@
+"""Tests for the bottleneck TraceAnalyzer."""
+
+import pytest
+
+from repro.sparksim import (InputSource, SparkSimulator, StageSpec,
+                            TraceAnalyzer)
+
+SANE = {
+    "spark.executor.cores": 8,
+    "spark.executor.memory": 24 * 1024,
+    "spark.executor.instances": 15,
+    "spark.default.parallelism": 240,
+}
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SparkSimulator()
+
+
+class TestProfiles:
+    def test_fractions_sum_to_one(self, sim):
+        res = sim.run([StageSpec(name="s", input_mb=4000.0,
+                                 compute_s_per_mb=0.02)], SANE, rng=0)
+        profile = TraceAnalyzer().analyze(res)
+        assert sum(profile.fractions.values()) == pytest.approx(1.0)
+        assert profile.total_s == res.duration_s
+
+    def test_compute_heavy_stage_flags_compute(self, sim):
+        res = sim.run([StageSpec(name="s", input_mb=2000.0,
+                                 compute_s_per_mb=0.5)], SANE, rng=0)
+        profile = TraceAnalyzer().analyze(res)
+        assert profile.dominant == "compute"
+
+    def test_io_heavy_stage_flags_read(self, sim):
+        res = sim.run([StageSpec(name="s", input_mb=30000.0,
+                                 compute_s_per_mb=0.0001)], SANE, rng=0)
+        profile = TraceAnalyzer().analyze(res)
+        assert profile.dominant == "read"
+
+    def test_describe_mentions_dominant(self, sim):
+        res = sim.run([StageSpec(name="s", input_mb=2000.0,
+                                 compute_s_per_mb=0.5)], SANE, rng=0)
+        text = TraceAnalyzer().analyze(res).describe()
+        assert "compute" in text
+
+    def test_empty_result_rejected(self):
+        from repro.sparksim import ExecutionResult, RunStatus
+        empty = ExecutionResult(RunStatus.INVALID, 8.0)
+        with pytest.raises(ValueError):
+            TraceAnalyzer().analyze(empty)
+
+
+class TestCompare:
+    def test_compare_reports_speedup(self, sim):
+        stages = [StageSpec(name="s", input_mb=4000.0,
+                            compute_s_per_mb=0.05)]
+        slow = sim.run(stages, {"spark.executor.cores": 2,
+                                "spark.executor.memory": 8192,
+                                "spark.executor.instances": 2}, rng=1)
+        fast = sim.run(stages, SANE, rng=1)
+        text = TraceAnalyzer().compare(slow, fast)
+        assert "speedup" in text
+        assert "->" in text

@@ -1,0 +1,66 @@
+"""Tests for executor placement."""
+
+import pytest
+
+from repro.sparksim import SparkConf, place_executors, paper_cluster
+
+
+def conf(**kv):
+    mapping = {
+        "spark.executor.cores": kv.get("cores", 4),
+        "spark.executor.memory": kv.get("memory_mb", 8192),
+        "spark.executor.memoryOverhead": kv.get("overhead_mb", 384),
+        "spark.executor.instances": kv.get("instances", 10),
+        "spark.task.cpus": kv.get("task_cpus", 1),
+    }
+    return SparkConf(mapping)
+
+
+class TestPacking:
+    def test_small_executors_all_fit(self):
+        p = place_executors(conf(cores=4, memory_mb=8192, instances=10),
+                            paper_cluster())
+        assert p.executors == 10
+        assert p.task_slots == 40
+        assert p.viable
+
+    def test_cores_limit_caps_executors(self):
+        # 32 cores/node, 16-core executors -> 2 per node, 10 total.
+        p = place_executors(conf(cores=16, instances=40), paper_cluster())
+        assert p.executors == 10
+
+    def test_memory_limit_caps_executors(self):
+        # 192 GB nodes, 100 GB executors -> 1 per node.
+        p = place_executors(conf(cores=1, memory_mb=100 * 1024, instances=40),
+                            paper_cluster())
+        assert p.executors == 5
+        assert p.executors_per_node == 1
+
+    def test_giant_executor_does_not_fit(self):
+        p = place_executors(conf(memory_mb=300 * 1024), paper_cluster())
+        assert p.executors == 0
+        assert not p.viable
+
+    def test_overhead_counts_against_memory(self):
+        # 190 GB heap + 10 GB overhead > 192 GB node.
+        p = place_executors(conf(memory_mb=190 * 1024,
+                                 overhead_mb=10 * 1024), paper_cluster())
+        assert p.executors == 0
+
+    def test_task_cpus_reduce_slots(self):
+        p = place_executors(conf(cores=8, instances=5, task_cpus=4),
+                            paper_cluster())
+        assert p.task_slots == 5 * 2
+
+    def test_task_cpus_above_cores_means_no_slots(self):
+        p = place_executors(conf(cores=2, instances=5, task_cpus=4),
+                            paper_cluster())
+        assert p.task_slots == 0
+        assert not p.viable
+
+    def test_nodes_used_spread(self):
+        p = place_executors(conf(instances=3), paper_cluster())
+        assert p.nodes_used == 3
+        p = place_executors(conf(instances=12), paper_cluster())
+        assert p.nodes_used == 5
+        assert p.executors_per_node == 3  # ceil(12/5)

@@ -1,0 +1,101 @@
+"""Property-based tests of simulator invariants.
+
+These encode the structural guarantees the tuning experiments depend on:
+any decodable configuration yields a well-formed result, determinism under
+a fixed seed, monotonicity in dataset size, and agreement between the
+vectorized and event-driven scheduler backends end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.space import spark_space
+from repro.sparksim import RunStatus, SparkSimulator
+from repro.workloads import Dataset, get_workload
+
+SPACE = spark_space()
+SIM = SparkSimulator()
+
+unit_vectors = st.lists(st.floats(0.0, 1.0), min_size=SPACE.dim,
+                        max_size=SPACE.dim).map(np.array)
+
+
+class TestTotality:
+    @given(unit_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_every_configuration_yields_wellformed_result(self, u):
+        """No decodable configuration may crash the simulator."""
+        conf = SPACE.decode(u)
+        res = SIM.run(get_workload("terasort", "D1").build_stages(), conf,
+                      rng=0, time_limit_s=480.0)
+        assert res.status in RunStatus
+        assert np.isfinite(res.duration_s)
+        assert res.duration_s > 0
+        if not res.ok:
+            assert res.failure_reason or res.status is RunStatus.TIMEOUT
+
+    @given(unit_vectors, st.sampled_from(["pagerank", "kmeans",
+                                          "connectedcomponents",
+                                          "logisticregression"]))
+    @settings(max_examples=30, deadline=None)
+    def test_all_workloads_total(self, u, name):
+        conf = SPACE.decode(u)
+        res = SIM.run(get_workload(name, "D1").build_stages(), conf, rng=1,
+                      time_limit_s=480.0)
+        assert np.isfinite(res.duration_s)
+
+
+class TestDeterminismAndNoise:
+    @given(unit_vectors, st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_seed_reproduces_exactly(self, u, seed):
+        conf = SPACE.decode(u)
+        stages = get_workload("kmeans", "D1").build_stages()
+        a = SIM.run(stages, conf, rng=seed)
+        b = SIM.run(stages, conf, rng=seed)
+        assert a.status == b.status
+        assert a.duration_s == b.duration_s
+
+    def test_noise_is_bounded(self):
+        conf = {"spark.executor.cores": 8,
+                "spark.executor.memory": 24 * 1024,
+                "spark.executor.instances": 15}
+        stages = get_workload("terasort", "D1").build_stages()
+        times = [SIM.run(stages, conf, rng=s).duration_s for s in range(20)]
+        spread = (max(times) - min(times)) / np.median(times)
+        # Shuffle-heavy short-wave jobs show large straggler-driven
+        # variance (real clusters do too); it must stay bounded though.
+        assert spread < 0.8
+
+
+class TestMonotonicity:
+    # Straggler noise can invert orderings for near-identical scales, so
+    # the property is asserted for clearly separated dataset sizes.
+    @given(st.floats(5.0, 40.0), st.floats(1.6, 3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_bigger_dataset_never_faster(self, scale, factor):
+        conf = {"spark.executor.cores": 8,
+                "spark.executor.memory": 32 * 1024,
+                "spark.executor.instances": 15,
+                "spark.default.parallelism": 256}
+        small = get_workload("terasort", Dataset("a", scale))
+        large = get_workload("terasort", Dataset("b", scale * factor))
+        t_small = SIM.run(small.build_stages(), conf, rng=3)
+        t_large = SIM.run(large.build_stages(), conf, rng=3)
+        if t_small.ok and t_large.ok:
+            assert t_large.duration_s > t_small.duration_s * 0.9
+
+
+class TestSchedulerBackends:
+    def test_exact_and_fast_agree_end_to_end(self):
+        exact_sim = SparkSimulator(exact_scheduler=True)
+        conf = {"spark.executor.cores": 8,
+                "spark.executor.memory": 24 * 1024,
+                "spark.executor.instances": 15,
+                "spark.default.parallelism": 200}
+        stages = get_workload("pagerank", "D1").build_stages()
+        fast = SIM.run(stages, conf, rng=7)
+        exact = exact_sim.run(stages, conf, rng=7)
+        assert fast.status == exact.status
+        assert fast.duration_s == pytest.approx(exact.duration_s, rel=0.15)

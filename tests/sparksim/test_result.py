@@ -1,0 +1,38 @@
+"""Tests for ExecutionResult / StageMetrics bookkeeping."""
+
+import pytest
+
+from repro.sparksim import ExecutionResult, RunStatus, StageMetrics
+
+
+def stage(name="s", duration=10.0):
+    return StageMetrics(name=name, tasks=4, waves=1, duration_s=duration)
+
+
+class TestExecutionResult:
+    def test_ok_flag(self):
+        assert ExecutionResult(RunStatus.SUCCESS, 1.0).ok
+        for status in (RunStatus.OOM, RunStatus.TIMEOUT,
+                       RunStatus.RUNTIME_ERROR, RunStatus.INVALID):
+            assert not ExecutionResult(status, 1.0).ok
+
+    def test_stage_lookup_first_match(self):
+        res = ExecutionResult(RunStatus.SUCCESS, 20.0,
+                              (stage("a", 5.0), stage("b", 15.0),
+                               stage("a", 99.0)))
+        assert res.stage("a").duration_s == 5.0
+
+    def test_stage_lookup_missing(self):
+        res = ExecutionResult(RunStatus.SUCCESS, 1.0, (stage("a"),))
+        with pytest.raises(KeyError):
+            res.stage("zzz")
+
+    def test_immutability(self):
+        res = ExecutionResult(RunStatus.SUCCESS, 1.0)
+        with pytest.raises(AttributeError):
+            res.duration_s = 2.0
+
+    def test_status_enum_values_stable(self):
+        """Status strings are part of the persisted-record format."""
+        assert {s.value for s in RunStatus} == {
+            "success", "oom", "runtime_error", "invalid", "timeout"}

@@ -1,0 +1,50 @@
+"""Tests for stage specifications."""
+
+import pytest
+
+from repro.sparksim import CachedRDD, CacheLevel, InputSource, StageSpec
+
+
+class TestStageSpecValidation:
+    def test_minimal_stage(self):
+        s = StageSpec(name="s", input_mb=100.0)
+        assert s.input_source == InputSource.HDFS
+        assert s.unroll_fraction == 0.35
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=-1.0)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, input_source="magic")
+
+    def test_cache_source_requires_name(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, input_source=InputSource.CACHE)
+
+    def test_negative_shuffle_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, shuffle_write_ratio=-0.5)
+
+    def test_bad_expansion_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, expansion=0.0)
+
+    def test_bad_unroll_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, unroll_fraction=0.0)
+        with pytest.raises(ValueError):
+            StageSpec(name="s", input_mb=1.0, unroll_fraction=1.5)
+
+    def test_frozen(self):
+        s = StageSpec(name="s", input_mb=1.0)
+        with pytest.raises(AttributeError):
+            s.input_mb = 2.0
+
+
+class TestCachedRDD:
+    def test_defaults(self):
+        rdd = CachedRDD(name="x", logical_mb=100.0)
+        assert rdd.level == CacheLevel.MEMORY
+        assert rdd.expansion == 2.5

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloads:
+    def test_lists_table1(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for ab in ("PR", "KM", "CC", "LR", "TS"):
+            assert ab in out
+        assert "million pages" in out
+
+
+class TestSimulate:
+    def test_good_config_succeeds(self, capsys):
+        code = main(["simulate", "--workload", "terasort",
+                     "--set", "spark.executor.cores=8",
+                     "--set", "spark.executor.memory=24576",
+                     "--set", "spark.executor.instances=15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "success" in out
+        assert "dominant bottleneck" in out
+
+    def test_default_config_failure_exit_code(self, capsys):
+        code = main(["simulate", "--workload", "pagerank"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "oom" in out
+
+    def test_malformed_set_rejected(self, capsys):
+        code = main(["simulate", "--set", "not-a-pair"])
+        assert code == 2
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--set", "spark.bogus=1"])
+
+    def test_conf_file_round_trip(self, tmp_path, capsys):
+        conf = tmp_path / "spark-defaults.conf"
+        conf.write_text("spark.executor.cores 8\n"
+                        "spark.executor.memory 24576m\n"
+                        "spark.executor.instances 15\n"
+                        "spark.shuffle.compress true\n")
+        code = main(["simulate", "--workload", "terasort",
+                     "--conf", str(conf)])
+        assert code == 0
+
+    def test_boolean_and_categorical_coercion(self, capsys):
+        code = main(["simulate", "--workload", "terasort",
+                     "--set", "spark.executor.cores=8",
+                     "--set", "spark.executor.memory=24576",
+                     "--set", "spark.executor.instances=15",
+                     "--set", "spark.shuffle.compress=false",
+                     "--set", "spark.io.compression.codec=zstd"])
+        assert code == 0
+
+
+class TestTune:
+    def test_tune_small_budget(self, capsys, tmp_path):
+        conf_out = tmp_path / "best.conf"
+        code = main(["tune", "--workload", "terasort", "--budget", "25",
+                     "--seed", "1", "--emit-conf", str(conf_out),
+                     "--store-dir", str(tmp_path / "stores")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best objective" in out
+        assert conf_out.exists()
+        assert (tmp_path / "stores" / "selection_cache.json").exists()
+        # The emitted file parses back as a full 44-parameter config.
+        lines = [ln for ln in conf_out.read_text().splitlines() if ln]
+        assert len(lines) == 44
+
+    def test_tune_core_seconds_metric(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "20",
+                     "--seed", "2", "--metric", "core_seconds"])
+        assert code == 0
+        assert "core_seconds" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_prints_ratios(self, capsys):
+        code = main(["compare", "--workload", "terasort", "--budget", "15",
+                     "--trials", "1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best/RS" in out
+        for tuner in ("ROBOTune", "BestConfig", "Gunther", "RandomSearch"):
+            assert tuner in out
+
+
+class TestImportance:
+    def test_importance_table(self, capsys):
+        code = main(["importance", "--workload", "terasort",
+                     "--samples", "40", "--top", "5", "--seed", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MDA importance" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

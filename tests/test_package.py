@@ -1,0 +1,53 @@
+"""Package-level sanity: public API surface and __all__ hygiene."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.space",
+    "repro.sampling",
+    "repro.ml",
+    "repro.gp",
+    "repro.sparksim",
+    "repro.workloads",
+    "repro.core",
+    "repro.tuners",
+    "repro.bench",
+    "repro.utils",
+]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_names_resolve(self, name):
+        """Everything listed in __all__ must actually exist."""
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists {symbol}"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_imports(self):
+        # The README quickstart names these; they must stay importable.
+        from repro import (ROBOTune, WorkloadObjective, get_workload,
+                           spark_space)
+        assert callable(spark_space)
+        assert ROBOTune.name == "ROBOTune"
+
+    def test_lazy_tuners_reexport(self):
+        from repro.tuners import ROBOTune, ROBOTuneResult
+        assert ROBOTune.name == "ROBOTune"
+        with pytest.raises(AttributeError):
+            from repro import tuners
+            tuners.NotAThing  # noqa: B018
+
+    def test_docstrings_everywhere(self):
+        """Every public package module carries a module docstring."""
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"

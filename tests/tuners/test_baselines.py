@@ -1,0 +1,124 @@
+"""Tests for the three baseline tuners on the synthetic objective."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import RunStatus
+from repro.tuners import (BestConfig, Gunther, RandomSearch,
+                          SyntheticObjective, synthetic_space)
+
+
+def make_objective(seed=0, dim=8, **kw):
+    return SyntheticObjective(synthetic_space(dim), n_effective=3, rng=seed,
+                              name="synth", **kw)
+
+
+class TestRandomSearch:
+    def test_spends_full_budget(self):
+        result = RandomSearch().tune(make_objective(1), 30, rng=2)
+        assert result.n_evaluations == 30
+        assert result.tuner == "RandomSearch"
+        assert result.workload == "synth/D1"
+
+    def test_finds_decent_point_with_enough_budget(self):
+        result = RandomSearch().tune(make_objective(3), 200, rng=4)
+        assert result.best_time_s < 40.0
+
+    def test_deterministic_given_seed(self):
+        a = RandomSearch().tune(make_objective(5), 20, rng=6)
+        b = RandomSearch().tune(make_objective(5), 20, rng=6)
+        assert a.best_time_s == b.best_time_s
+
+    def test_static_threshold_truncates(self):
+        tuner = RandomSearch(static_threshold_s=12.0)
+        result = tuner.tune(make_objective(7), 40, rng=8)
+        assert all(e.cost_s <= 12.0 + 1e-9 for e in result.evaluations)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearch().tune(make_objective(), 0)
+
+
+class TestBestConfig:
+    def test_single_round_with_default_sample_size(self):
+        """Budget 100 with round_size 100 -> pure DDS, no recursion."""
+        result = BestConfig().tune(make_objective(9), 50, rng=10)
+        assert result.n_evaluations == 50
+
+    def test_recursive_rounds_shrink_bounds(self):
+        tuner = BestConfig(round_size=15)
+        result = tuner.tune(make_objective(11), 60, rng=12)
+        assert result.n_evaluations == 60
+        # Later rounds concentrate: spread of the last round's points is
+        # smaller than the first round's.
+        first = np.vstack([e.vector for e in result.evaluations[:15]])
+        last = np.vstack([e.vector for e in result.evaluations[-15:]])
+        assert last.std(axis=0).mean() < first.std(axis=0).mean()
+
+    def test_recursion_improves_over_first_round(self):
+        tuner = BestConfig(round_size=15)
+        result = tuner.tune(make_objective(13), 75, rng=14)
+        first_best = min(e.objective for e in result.evaluations[:15])
+        assert result.best_time_s <= first_best
+
+    def test_adaptive_threshold_engages(self):
+        tuner = BestConfig(round_size=10, threshold_scale=2.0)
+        obj = make_objective(15, base=10.0, scale=400.0)
+        result = tuner.tune(obj, 40, rng=16)
+        assert any(e.truncated for e in result.evaluations) or \
+            all(e.ok for e in result.evaluations)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BestConfig(round_size=1)
+        with pytest.raises(ValueError):
+            BestConfig(threshold_scale=1.0)
+
+
+class TestGunther:
+    def test_spends_exact_budget(self):
+        result = Gunther().tune(make_objective(17), 45, rng=18)
+        assert result.n_evaluations == 45
+
+    def test_population_rule_scales_with_dim(self):
+        g = Gunther()
+        assert g._population_size(6, 1000) == 8 + 12
+        assert g._population_size(44, 1000) == 8 + 88
+        # Capped at half the budget so evolution actually happens.
+        assert g._population_size(44, 40) == 20
+
+    def test_later_generations_beat_initials(self):
+        result = Gunther(population=12).tune(make_objective(19), 60, rng=20)
+        init_best = min(e.objective for e in result.evaluations[:12])
+        later = min(e.objective for e in result.evaluations[12:])
+        assert later <= init_best * 1.1
+
+    def test_children_stay_in_unit_cube(self):
+        result = Gunther(population=10, mutation_rate=0.9,
+                         mutation_sigma=0.5).tune(make_objective(21), 40,
+                                                  rng=22)
+        for e in result.evaluations:
+            assert np.all(e.vector >= 0.0) and np.all(e.vector <= 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gunther(population=2)
+        with pytest.raises(ValueError):
+            Gunther(survivor_fraction=1.5)
+        with pytest.raises(ValueError):
+            Gunther(mutation_rate=-0.1)
+        with pytest.raises(ValueError):
+            Gunther(mutation_sigma=0.0)
+
+
+class TestComparability:
+    def test_all_tuners_handle_failing_regions(self):
+        """Objectives where part of the space 'fails' must not crash."""
+        obj_kw = dict(base=300.0, scale=2000.0, time_limit_s=480.0)
+        for tuner in (RandomSearch(), BestConfig(round_size=20),
+                      Gunther(population=10)):
+            obj = make_objective(23, **obj_kw)
+            result = tuner.tune(obj, 30, rng=24)
+            assert result.n_evaluations == 30
+            statuses = {e.status for e in result.evaluations}
+            assert RunStatus.SUCCESS in statuses

@@ -1,0 +1,69 @@
+"""Tests for the synthetic benchmark objective."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import RunStatus
+from repro.tuners import SyntheticObjective, synthetic_space
+
+
+class TestSurface:
+    def test_optimum_location(self):
+        space = synthetic_space(5)
+        obj = SyntheticObjective(space, n_effective=2, optimum=0.3,
+                                 noise=0.0, rng=0)
+        at_opt = obj.true_value({f"x{i}": 0.3 for i in range(5)})
+        away = obj.true_value({"x0": 0.9, "x1": 0.9, "x2": 0.3,
+                               "x3": 0.3, "x4": 0.3})
+        assert at_opt == pytest.approx(obj.base)
+        assert away > at_opt
+
+    def test_inert_dimensions_do_not_matter(self):
+        space = synthetic_space(6)
+        obj = SyntheticObjective(space, n_effective=2, noise=0.0, rng=0)
+        a = obj.true_value({f"x{i}": 0.3 for i in range(6)})
+        moved = {f"x{i}": 0.3 for i in range(6)}
+        moved["x5"] = 0.99
+        assert obj.true_value(moved) == pytest.approx(a)
+
+    def test_noise_multiplicative(self):
+        space = synthetic_space(3)
+        obj = SyntheticObjective(space, n_effective=1, noise=0.1, rng=1)
+        u = np.full(3, 0.3)
+        vals = [obj(u).objective for _ in range(10)]
+        assert len(set(vals)) == 10
+        assert min(vals) > obj.base * 0.5
+
+    def test_kill_threshold_truncates(self):
+        space = synthetic_space(3)
+        obj = SyntheticObjective(space, n_effective=1, base=100.0,
+                                 scale=0.0, noise=0.0, rng=0)
+        ev = obj(np.full(3, 0.5), time_limit_s=50.0)
+        assert ev.truncated
+        assert ev.status is RunStatus.TIMEOUT
+        assert ev.cost_s == 50.0
+        assert ev.objective == obj.time_limit_s
+
+
+class TestProtocol:
+    def test_with_space_shares_surface(self):
+        space = synthetic_space(4)
+        obj = SyntheticObjective(space, n_effective=2, noise=0.0, rng=0)
+        sub = space.subspace(["x0", "x1"],
+                             base={"x2": 0.3, "x3": 0.3})
+        ev = obj.with_space(sub)(np.array([0.3, 0.3]))
+        # Snap error of FloatParameter is zero, so this hits the optimum.
+        assert ev.objective == pytest.approx(obj.base, rel=0.01)
+
+    def test_identity_optional(self):
+        anonymous = SyntheticObjective(synthetic_space(3), rng=0)
+        named = SyntheticObjective(synthetic_space(3), rng=0, name="wl",
+                                   dataset="D2")
+        assert not hasattr(anonymous, "workload")
+        assert named.workload.key == "wl"
+        assert named.workload.full_key == "wl/D2"
+        assert named.workload.dataset.label == "D2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticObjective(synthetic_space(3), n_effective=9)

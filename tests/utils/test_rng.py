@@ -1,0 +1,37 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_deterministic(self):
+        assert as_generator(42).random() == as_generator(42).random()
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_streams(self):
+        kids = spawn(0, 3)
+        vals = [k.random() for k in kids]
+        assert len(set(vals)) == 3
+
+    def test_deterministic_given_parent_seed(self):
+        a = [g.random() for g in spawn(7, 4)]
+        b = [g.random() for g in spawn(7, 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)

@@ -1,0 +1,49 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import geometric_mean, percentile, summarize
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ratio_symmetry(self):
+        """gm(x) * gm(1/x) == 1: the property that makes it right for
+        speedup ratios."""
+        xs = [1.3, 0.7, 2.0, 1.1]
+        assert geometric_mean(xs) * geometric_mean([1 / x for x in xs]) == \
+            pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_singleton_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,59 @@
+"""Tests for the extra (beyond-Table-1) workloads."""
+
+import pytest
+
+from repro.sparksim import SparkSimulator
+from repro.workloads import Dataset, get_workload
+from repro.workloads.extras import (EXTRA_WORKLOADS, SupportVectorMachine,
+                                    TriangleCount, WordCount)
+from repro.workloads.registry import WORKLOADS
+
+SANE = {
+    "spark.executor.cores": 8,
+    "spark.executor.memory": 24 * 1024,
+    "spark.executor.instances": 15,
+    "spark.default.parallelism": 240,
+}
+
+
+class TestRegistryIntegration:
+    def test_extras_not_in_paper_set(self):
+        assert not set(EXTRA_WORKLOADS) & set(WORKLOADS)
+
+    def test_lookup_by_name_and_abbrev(self):
+        assert isinstance(get_workload("wordcount", "D1"), WordCount)
+        assert isinstance(get_workload("WC", "D2"), WordCount)
+        assert isinstance(get_workload("svm", "D1"), SupportVectorMachine)
+        assert isinstance(get_workload("TC", "D3"), TriangleCount)
+
+    def test_numeric_scale_shortcut(self):
+        wl = get_workload("wordcount", 5.0)
+        assert wl.input_mb == 5.0 * 1024
+
+    def test_bad_label_for_extra(self):
+        with pytest.raises(KeyError):
+            get_workload("wordcount", "D9")
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("name", list(EXTRA_WORKLOADS))
+    def test_runs_successfully_when_tuned(self, name):
+        sim = SparkSimulator()
+        wl = get_workload(name, "D1")
+        res = sim.run(wl.build_stages(), SANE, rng=0)
+        assert res.ok, f"{name}: {res.failure_reason}"
+
+    def test_trianglecount_is_shuffle_heavy(self):
+        stages = get_workload("trianglecount", "D1").build_stages()
+        assert max(s.shuffle_write_ratio for s in stages) > 1.0
+
+    def test_svm_iterates_over_cache(self):
+        stages = get_workload("svm", "D1").build_stages()
+        epochs = [s for s in stages if s.name.startswith("sgd-epoch")]
+        assert len(epochs) == SupportVectorMachine.iterations
+        assert all(s.reads_cached == "svm-examples" for s in epochs)
+
+    def test_wordcount_two_stages(self):
+        stages = get_workload("wordcount", "D1").build_stages()
+        assert len(stages) == 2
+        assert stages[1].output_mb > 0

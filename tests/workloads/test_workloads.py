@@ -1,0 +1,149 @@
+"""Tests for the five workload stage-DAG models."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim import (CacheLevel, InputSource, RunStatus,
+                            SparkSimulator, SparkConf)
+from repro.workloads import (ConnectedComponents, Dataset, KMeans,
+                             LogisticRegression, PageRank, TeraSort,
+                             get_workload, iter_table1)
+
+SANE = {
+    "spark.executor.cores": 8,
+    "spark.executor.memory": 24 * 1024,
+    "spark.executor.instances": 15,
+    "spark.default.parallelism": 240,
+}
+
+
+class TestDAGShapes:
+    def test_pagerank_structure(self):
+        stages = get_workload("pagerank", "D1").build_stages()
+        names = [s.name for s in stages]
+        assert names[0] == "parse-and-cache-graph"
+        assert stages[0].cache_output is not None
+        assert sum("contributions" in n for n in names) == 3
+        assert sum("aggregate-ranks" in n for n in names) == 3
+        # Iterations alternate cache-read map and shuffle-read reduce.
+        assert stages[1].input_source == InputSource.CACHE
+        assert stages[2].input_source == InputSource.SHUFFLE
+        assert stages[2].shuffle_agg
+
+    def test_kmeans_structure(self):
+        stages = get_workload("kmeans", "D1").build_stages()
+        assert stages[0].cache_output.level == CacheLevel.MEMORY
+        iters = [s for s in stages if s.name.startswith("assign")]
+        assert len(iters) == 10
+        for s in iters:
+            assert s.reads_cached == "km-points"
+            assert s.broadcast_mb > 0
+            assert s.driver_collect_mb > 0
+
+    def test_connectedcomponents_serialized_cache(self):
+        stages = get_workload("cc", "D1").build_stages()
+        assert stages[0].cache_output.level == CacheLevel.MEMORY_SER
+
+    def test_cc_frontier_shrinks(self):
+        stages = get_workload("connectedcomponents", "D1").build_stages()
+        props = [s for s in stages if s.name.startswith("propagate")]
+        ratios = [s.shuffle_write_ratio for s in props]
+        assert all(b < a for a, b in zip(ratios, ratios[1:]))
+
+    def test_terasort_structure(self):
+        stages = get_workload("terasort", "D1").build_stages()
+        assert [s.name for s in stages] == ["sample-ranges",
+                                            "map-and-shuffle",
+                                            "sort-and-write"]
+        assert stages[1].shuffle_write_ratio == 1.0
+        assert stages[2].output_mb == stages[2].input_mb
+        assert all(s.cache_output is None for s in stages)
+
+    def test_logistic_regression_structure(self):
+        stages = get_workload("lr", "D1").build_stages()
+        assert stages[0].cache_output is not None
+        assert sum(s.name.startswith("gradient") for s in stages) == 5
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["pagerank", "kmeans", "terasort",
+                                      "logisticregression",
+                                      "connectedcomponents"])
+    def test_input_scales_with_dataset(self, name):
+        d1 = get_workload(name, "D1")
+        d3 = get_workload(name, "D3")
+        assert d3.input_mb > d1.input_mb
+
+    def test_custom_dataset(self):
+        wl = get_workload("terasort", Dataset("tiny", 1.0))
+        assert wl.input_mb == 1024.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", -5.0)
+
+
+class TestRegistry:
+    def test_all_table1_cells_instantiable(self):
+        cells = list(iter_table1())
+        assert len(cells) == 15
+        for name, label in cells:
+            wl = get_workload(name, label)
+            assert wl.build_stages()
+
+    def test_abbreviation_lookup(self):
+        assert isinstance(get_workload("PR"), PageRank)
+        assert isinstance(get_workload("km"), KMeans)
+        assert isinstance(get_workload("TS"), TeraSort)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("quantum-sort")
+
+    def test_unknown_dataset_label(self):
+        with pytest.raises(KeyError):
+            get_workload("pagerank", "D9")
+
+    def test_keys(self):
+        wl = get_workload("pagerank", "D2")
+        assert wl.key == "pagerank"
+        assert wl.full_key == "pagerank/D2"
+
+
+class TestPaperBehaviour:
+    """The §5.2 failure/slowness narrative under the default config."""
+
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return SparkSimulator()
+
+    @pytest.mark.parametrize("name", ["pagerank", "connectedcomponents"])
+    def test_graph_workloads_oom_on_defaults(self, sim, name):
+        res = sim.run(get_workload(name, "D1").build_stages(), SparkConf(),
+                      rng=0)
+        assert res.status is RunStatus.OOM
+
+    def test_terasort_d1_survives_defaults(self, sim):
+        res = sim.run(get_workload("terasort", "D1").build_stages(),
+                      SparkConf(), rng=0)
+        assert res.ok
+
+    @pytest.mark.parametrize("label", ["D2", "D3"])
+    def test_terasort_larger_fail_on_defaults(self, sim, label):
+        res = sim.run(get_workload("terasort", label).build_stages(),
+                      SparkConf(), rng=0)
+        assert not res.ok
+
+    @pytest.mark.parametrize("name", ["kmeans", "logisticregression"])
+    def test_ml_workloads_succeed_but_slowly_on_defaults(self, sim, name):
+        stages = get_workload(name, "D1").build_stages()
+        default = sim.run(stages, SparkConf(), rng=0)
+        tuned = sim.run(stages, SANE, rng=0)
+        assert default.ok and tuned.ok
+        assert default.duration_s > 2.0 * tuned.duration_s
+
+    def test_all_workloads_tunable_to_success(self, sim):
+        for name, label in iter_table1():
+            res = sim.run(get_workload(name, label).build_stages(), SANE,
+                          rng=1)
+            assert res.ok, f"{name}/{label}: {res.failure_reason}"
