@@ -1,0 +1,177 @@
+"""Hot-path perf-regression smoke benchmark.
+
+Times the optimized compute kernels (vectorized forest training, batched
+permutation importance, incremental GP updates, one BO iteration, a small
+end-to-end tune) and appends the wall-clock numbers to
+``BENCH_hotpaths.json`` at the repo root, so successive commits leave a
+comparable record.  Where a reference implementation is kept in-tree
+(the per-repeat importance loop, the from-scratch GP refit), both sides
+are timed and the speedup is printed.
+
+This is a smoke benchmark: it asserts only that the optimized paths are
+not slower than their in-tree reference implementations (with generous
+slack for machine noise), never absolute times.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BOEngine
+from repro.core.tuner import ROBOTune
+from repro.gp.gpr import GaussianProcessRegressor, default_bo_kernel
+from repro.ml import RandomForestRegressor, grouped_permutation_importance
+from repro.sampling import latin_hypercube
+from repro.space.spark_params import spark_space
+from repro.tuners import SyntheticObjective, synthetic_space
+from repro.tuners.objective import WorkloadObjective
+from repro.workloads.registry import get_workload
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+_entries: list[dict] = []
+
+
+def _record(name: str, wall_s: float, n: int) -> float:
+    _entries.append({"name": name, "wall_s": round(wall_s, 6), "n": n,
+                     "timestamp": time.time()})
+    return wall_s
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_forest_fit_wall_time(capsys):
+    rng = np.random.default_rng(0)
+    X = rng.random((300, 12))
+    y = 4 * X[:, 0] + np.sin(6 * X[:, 1]) + rng.normal(0, 0.05, 300)
+    wall = _time(lambda: RandomForestRegressor(60, rng=1).fit(X, y))
+    _record("forest_fit_60x300x12", wall, n=300)
+    with capsys.disabled():
+        print(f"\nforest fit (60 trees, 300x12): {wall:.3f}s")
+    assert wall > 0
+
+
+def test_split_search_batched_vs_scalar(capsys):
+    from repro.ml.tree import DecisionTreeRegressor
+    # Node-sized matrices: most split searches in a fitted tree happen on
+    # a few dozen rows, where per-column call overhead dominates.
+    rng = np.random.default_rng(7)
+    nodes = [rng.random((int(n), 12)) for n in rng.integers(8, 80, 60)]
+    ys = [3 * M[:, 0] + rng.normal(0, 0.2, M.shape[0]) for M in nodes]
+    sses = [float(np.sum((y - y.mean()) ** 2)) for y in ys]
+    tree = DecisionTreeRegressor()
+    batched = _time(lambda: [tree._best_thresholds_batch(M, y, s)
+                             for M, y, s in zip(nodes, ys, sses)], repeats=5)
+    scalar = _time(lambda: [[tree._best_threshold(M[:, j], y, s)
+                             for j in range(M.shape[1])]
+                            for M, y, s in zip(nodes, ys, sses)], repeats=5)
+    _record("split_search_batched_60nodes_x12", batched, n=60)
+    _record("split_search_scalar_60nodes_x12", scalar, n=60)
+    with capsys.disabled():
+        print(f"CART split search (60 nodes x 12 feats): "
+              f"batched {batched * 1e3:.2f}ms vs "
+              f"scalar {scalar * 1e3:.2f}ms ({scalar / batched:.1f}x)")
+    assert batched <= scalar * 1.5
+
+
+def test_grouped_importance_batched_vs_loop(capsys):
+    rng = np.random.default_rng(1)
+    X = rng.random((250, 10))
+    y = 5 * X[:, 0] + 2 * X[:, 1] * X[:, 2] + rng.normal(0, 0.05, 250)
+    forest = RandomForestRegressor(60, rng=2).fit(X, y)
+    groups = {f"g{j}": [j] for j in range(10)}
+    batched = _time(lambda: grouped_permutation_importance(
+        forest, groups, n_repeats=10, rng=3, batched=True))
+    loop = _time(lambda: grouped_permutation_importance(
+        forest, groups, n_repeats=10, rng=3, batched=False), repeats=1)
+    _record("grouped_importance_batched", batched, n=250)
+    _record("grouped_importance_loop", loop, n=250)
+    with capsys.disabled():
+        print(f"grouped importance: batched {batched:.3f}s vs "
+              f"loop {loop:.3f}s ({loop / batched:.1f}x)")
+    assert batched <= loop * 1.5  # generous slack for timer noise
+
+
+def test_gp_update_vs_refit(capsys):
+    rng = np.random.default_rng(2)
+    n = 120
+    X = rng.random((n, 5))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+
+    def incremental():
+        gp = GaussianProcessRegressor(kernel=default_bo_kernel(), alpha=1e-8,
+                                      optimize=False).fit(X[:20], y[:20])
+        for m in range(21, n + 1):
+            gp.update(X[:m], y[:m])
+
+    def refit():
+        gp = GaussianProcessRegressor(kernel=default_bo_kernel(), alpha=1e-8,
+                                      optimize=False).fit(X[:20], y[:20])
+        for m in range(21, n + 1):
+            gp.fit(X[:m], y[:m])
+
+    inc = _time(incremental, repeats=2)
+    full = _time(refit, repeats=2)
+    _record("gp_incremental_growth_20_to_120", inc, n=n)
+    _record("gp_full_refit_growth_20_to_120", full, n=n)
+    with capsys.disabled():
+        print(f"GP growth to n={n}: incremental {inc:.3f}s vs "
+              f"refit {full:.3f}s ({full / inc:.1f}x)")
+    assert inc <= full * 1.5
+
+
+def test_bo_iteration_wall_time(capsys):
+    space = synthetic_space(4)
+    objective = SyntheticObjective(space, n_effective=3, noise=0.01, rng=4)
+    initial = [objective(u) for u in latin_hypercube(20, 4, rng=4)]
+
+    def one_round():
+        engine = BOEngine(rng=5, n_candidates=256)
+        engine.minimize(objective, space, initial, budget=3)
+
+    wall = _time(one_round, repeats=2) / 3.0
+    _record("bo_iteration_n20_d4", wall, n=20)
+    with capsys.disabled():
+        print(f"BO iteration (n=20, d=4): {wall:.3f}s")
+    assert wall > 0
+
+
+def test_end_to_end_tune_wall_time(capsys):
+    space = spark_space()
+
+    def tune():
+        objective = WorkloadObjective(get_workload("kmeans", "D1"), space,
+                                      rng=6)
+        ROBOTune(rng=6).tune(objective, 40, rng=6)
+
+    wall = _time(tune, repeats=1)
+    _record("robotune_e2e_kmeans_d1_b40", wall, n=40)
+    with capsys.disabled():
+        print(f"end-to-end tune (kmeans/D1, budget 40): {wall:.3f}s")
+    assert wall > 0
+
+
+def test_zzz_write_bench_file(capsys):
+    """Runs last (alphabetical within file ordering is execution order)."""
+    existing = []
+    if BENCH_FILE.exists():
+        try:
+            existing = json.loads(BENCH_FILE.read_text())
+        except (ValueError, OSError):
+            existing = []
+    existing.extend(_entries)
+    BENCH_FILE.write_text(json.dumps(existing, indent=2) + "\n")
+    with capsys.disabled():
+        print(f"[{len(_entries)} timings appended to {BENCH_FILE.name}]")
+    assert BENCH_FILE.exists()

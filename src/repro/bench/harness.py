@@ -27,6 +27,7 @@ from ..tuners.bestconfig import BestConfig
 from ..tuners.gunther import Gunther
 from ..tuners.objective import DEFAULT_TIME_LIMIT_S, WorkloadObjective
 from ..tuners.random_search import RandomSearch
+from ..utils.parallel import parallel_map
 from ..workloads.datasets import DATASET_LABELS
 from ..workloads.registry import all_workload_names, get_workload
 
@@ -99,6 +100,13 @@ class ComparisonStudy:
     keep_results:
         Attach the full :class:`TuningResult` to each record (needed by
         Figures 8/9; costs memory).
+    n_jobs / parallel_backend:
+        Workers for running independent ``(trial, workload, tuner)``
+        sweeps concurrently (each sweep still visits its datasets in
+        order, because the knowledge stores are shared within a sweep).
+        Every session is seeded from its grid coordinates, so results
+        and record order are identical for any worker count.  The
+        ``"process"`` backend requires a picklable *selector_factory*.
     """
 
     def __init__(self, *, budget: int = 100, trials: int = 5,
@@ -109,6 +117,8 @@ class ComparisonStudy:
                  time_limit_s: float = DEFAULT_TIME_LIMIT_S,
                  keep_results: bool = False,
                  selector_factory: Callable[[np.random.Generator], ParameterSelector] | None = None,
+                 n_jobs: int | None = None,
+                 parallel_backend: str = "process",
                  base_seed: int = 0):
         self.budget = budget
         self.trials = trials
@@ -122,6 +132,8 @@ class ComparisonStudy:
         self.time_limit_s = time_limit_s
         self.keep_results = keep_results
         self.selector_factory = selector_factory
+        self.n_jobs = n_jobs
+        self.parallel_backend = parallel_backend
         self.base_seed = base_seed
         self.space = spark_space()
 
@@ -144,24 +156,40 @@ class ComparisonStudy:
 
     # -- execution ---------------------------------------------------------------------
     def run(self, progress: Callable[[str], None] | None = None) -> StudyResult:
-        """Execute every session of the study grid."""
+        """Execute every session of the study grid.
+
+        The ``(trial, workload, tuner)`` sweeps are independent (each one
+        starts fresh knowledge stores) and run concurrently under
+        ``n_jobs``; datasets within a sweep stay sequential so D2/D3 see
+        the warm stores D1 populated.  Records are appended in the same
+        nested order the sequential loop produced.
+        """
+        sweeps = [(trial, workload, tuner_name)
+                  for trial in range(self.trials)
+                  for workload in self.workloads
+                  for tuner_name in self.tuners]
+        sweep_records = parallel_map(self._run_sweep, sweeps,
+                                     n_jobs=self.n_jobs,
+                                     backend=self.parallel_backend)
         study = StudyResult()
-        for trial in range(self.trials):
-            for workload in self.workloads:
-                for tuner_name in self.tuners:
-                    # Knowledge stores persist across this workload's
-                    # datasets within one (trial, tuner) sweep.
-                    stores = {"cache": ParameterSelectionCache(),
-                              "memo": ConfigMemoizationBuffer()}
-                    for dataset in self.datasets:
-                        rec = self._run_session(tuner_name, workload, dataset,
-                                                trial, stores)
-                        study.records.append(rec)
-                        if progress is not None:
-                            progress(f"{tuner_name} {workload}/{dataset} "
-                                     f"trial {trial}: best={rec.best_time_s:.0f}s "
-                                     f"cost={rec.search_cost_s / 60:.0f}min")
+        for recs in sweep_records:
+            for rec in recs:
+                study.records.append(rec)
+                if progress is not None:
+                    progress(f"{rec.tuner} {rec.workload}/{rec.dataset} "
+                             f"trial {rec.trial}: best={rec.best_time_s:.0f}s "
+                             f"cost={rec.search_cost_s / 60:.0f}min")
         return study
+
+    def _run_sweep(self, sweep: tuple[int, str, str]) -> list[SessionRecord]:
+        """All datasets of one (trial, workload, tuner) sweep, in order."""
+        trial, workload, tuner_name = sweep
+        # Knowledge stores persist across this workload's datasets
+        # within one (trial, tuner) sweep.
+        stores = {"cache": ParameterSelectionCache(),
+                  "memo": ConfigMemoizationBuffer()}
+        return [self._run_session(tuner_name, workload, dataset, trial, stores)
+                for dataset in self.datasets]
 
     def _run_session(self, tuner_name: str, workload: str, dataset: str,
                      trial: int, stores: dict) -> SessionRecord:

@@ -38,6 +38,7 @@ from .tuners.bestconfig import BestConfig
 from .tuners.gunther import Gunther
 from .tuners.objective import WorkloadObjective
 from .tuners.random_search import RandomSearch
+from .utils.parallel import resolve_n_jobs
 from .workloads.datasets import DATASET_LABELS, SCALE_UNITS, TABLE1
 from .workloads.registry import WORKLOADS, get_workload
 
@@ -62,15 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--emit-conf", default=None, metavar="FILE",
                         help="write the best configuration as "
                              "spark-defaults.conf text")
+    _jobs(p_tune)
 
     p_cmp = sub.add_parser("compare", help="compare the four tuners")
     _common(p_cmp)
     p_cmp.add_argument("--trials", type=int, default=1)
+    _jobs(p_cmp)
 
     p_imp = sub.add_parser("importance", help="rank parameter importance")
     _common(p_imp)
     p_imp.add_argument("--samples", type=int, default=100)
     p_imp.add_argument("--top", type=int, default=12)
+    _jobs(p_imp)
 
     p_sim = sub.add_parser("simulate", help="run one configuration")
     _common(p_sim)
@@ -89,6 +93,14 @@ def _common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataset", default="D1", choices=list(DATASET_LABELS))
     p.add_argument("--budget", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+
+
+def _jobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes/threads for forest training and "
+                        "permutation importance (default: ROBOTUNE_JOBS "
+                        "env var, else 1; -1 = all CPUs); results are "
+                        "identical for any value")
 
 
 # -- commands ----------------------------------------------------------------------
@@ -113,7 +125,8 @@ def cmd_tune(args) -> int:
         store.mkdir(parents=True, exist_ok=True)
         cache = ParameterSelectionCache(store / "selection_cache.json")
         memo = ConfigMemoizationBuffer(store / "memo_buffer.json")
-    tuner = ROBOTune(selection_cache=cache, memo_buffer=memo, rng=args.seed)
+    tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
+                     n_jobs=args.jobs, rng=args.seed)
     result = tuner.tune(objective, args.budget, rng=args.seed)
 
     print(f"workload:        {workload.full_key}")
@@ -134,7 +147,7 @@ def cmd_tune(args) -> int:
 
 def cmd_compare(args) -> int:
     space = spark_space()
-    tuners = {"ROBOTune": lambda s: ROBOTune(rng=s),
+    tuners = {"ROBOTune": lambda s: ROBOTune(n_jobs=args.jobs, rng=s),
               "BestConfig": lambda s: BestConfig(),
               "Gunther": lambda s: Gunther(),
               "RandomSearch": lambda s: RandomSearch()}
@@ -168,7 +181,8 @@ def cmd_importance(args) -> int:
     space = spark_space()
     workload = get_workload(args.workload, args.dataset)
     objective = WorkloadObjective(workload, space, rng=args.seed)
-    selector = ParameterSelector(n_samples=args.samples, rng=args.seed)
+    selector = ParameterSelector(n_samples=args.samples, n_jobs=args.jobs,
+                                 rng=args.seed)
     result = selector.select(space, selector.collect(objective, space))
     rows = [(g.group, g.importance, g.std,
              "selected" if g.group in result.selected_groups else "")
@@ -252,6 +266,14 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if hasattr(args, "jobs"):
+        # Fail fast on a bad --jobs value or ROBOTUNE_JOBS setting,
+        # before any expensive sampling starts.
+        try:
+            resolve_n_jobs(args.jobs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return _COMMANDS[args.command](args)
 
 

@@ -62,26 +62,40 @@ class BOEngine:
     early_stop_patience:
         Stop when the incumbent has not improved for this many
         iterations (None = always spend the full budget).
+    incremental:
+        Between hyperparameter re-optimizations, extend the GP with a
+        rank-1 Cholesky update per new observation instead of
+        refactorizing the full covariance (see
+        :meth:`GaussianProcessRegressor.update`).  Mathematically exact
+        but subject to ~1e-7 floating-point divergence from a
+        from-scratch factorization, which L-BFGS-B refinement can
+        amplify into different nominated points.  Off by default so BO
+        decisions are bit-reproducible across versions; enable when raw
+        iteration throughput matters more than exact replay.
     """
 
     def __init__(self, *, kernel: Kernel | None = None,
                  hedge: GPHedge | None = None, n_candidates: int = 512,
                  hyperopt_every: int = 5, refine: bool = True,
                  early_stop_patience: int | None = None,
+                 incremental: bool = False,
                  rng: np.random.Generator | int | None = None):
         if n_candidates < 8:
             raise ValueError("n_candidates must be >= 8")
         if hyperopt_every < 1:
             raise ValueError("hyperopt_every must be >= 1")
         self._kernel_template = kernel or default_bo_kernel()
+        self._theta0 = self._kernel_template.theta.copy()
         self._rng = as_generator(rng)
         self.hedge = hedge or GPHedge(rng=self._rng)
         self.n_candidates = n_candidates
         self.hyperopt_every = hyperopt_every
         self.refine = refine
         self.early_stop_patience = early_stop_patience
+        self.incremental = incremental
         self.records: list[BOIterationRecord] = []
         self._theta: np.ndarray | None = None
+        self._gp: GaussianProcessRegressor | None = None
         self.last_gp: GaussianProcessRegressor | None = None
 
     # -- main loop -----------------------------------------------------------------
@@ -162,17 +176,35 @@ class BOEngine:
     def _fit_gp(self, X: np.ndarray, y: np.ndarray,
                 n_new: int | None) -> GaussianProcessRegressor:
         """Fit the surrogate; full hyperparameter optimization only on
-        schedule (n_new is None for the cheap refit after an evaluation)."""
+        schedule (n_new is None for the cheap refit after an evaluation).
+
+        One :class:`GaussianProcessRegressor` instance is reused across
+        the whole loop — the kernel template is deep-copied once at
+        construction rather than every iteration.  Off-schedule refits go
+        through the GP's warm :meth:`~GaussianProcessRegressor.update`
+        path when ``incremental`` is on.
+        """
         full = n_new is not None and (self._theta is None
                                       or n_new % self.hyperopt_every == 0)
-        gp = GaussianProcessRegressor(kernel=self._kernel_template,
-                                      normalize_y=True, optimize=full,
-                                      n_restarts=2, rng=self._rng)
-        if not full and self._theta is not None:
-            gp.kernel.theta = self._theta
-        gp.fit(X, y)
+        if self._gp is None:
+            self._gp = GaussianProcessRegressor(
+                kernel=self._kernel_template, normalize_y=True,
+                optimize=full, n_restarts=2, rng=self._rng)
+        gp = self._gp
+        gp.optimize = full
         if full:
+            # Start the likelihood optimization from the template's
+            # hyperparameters, exactly as a freshly copied kernel would.
+            gp.kernel.theta = self._theta0
+            gp.fit(X, y)
             self._theta = gp.kernel.theta
+        else:
+            if self._theta is not None:
+                gp.kernel.theta = self._theta
+            if self.incremental:
+                gp.update(X, y)
+            else:
+                gp.fit(X, y)
         self.last_gp = gp
         return gp
 
@@ -182,8 +214,8 @@ class BOEngine:
         mu, sigma = gp.predict(U, return_std=True)
         mean = float(y.mean())
         std = float(y.std()) or 1.0
-        ok = y  # censored objectives included: failures repel the search
-        f_best = (float(ok.min()) - mean) / std
+        # Censored objectives included: failures repel the search.
+        f_best = (float(y.min()) - mean) / std
         return (mu - mean) / std, sigma / std, f_best
 
     def _nominate(self, gp: GaussianProcessRegressor, y: np.ndarray,
@@ -204,17 +236,25 @@ class BOEngine:
         nominees = np.empty((len(self.hedge.functions), dim))
         for i, acq in enumerate(self.hedge.functions):
             util = acq(mu, sigma, f_best)
-            start = U[int(np.argmax(util))]
-            nominees[i] = self._refine(acq, gp, start, f_best, mean, std) \
+            best_cand = int(np.argmax(util))
+            start = U[best_cand]
+            nominees[i] = self._refine(acq, gp, start, f_best, mean, std,
+                                       float(util[best_cand])) \
                 if self.refine else start
         return nominees
 
     def _refine(self, acq, gp: GaussianProcessRegressor, start: np.ndarray,
-                f_best: float, mean: float, std: float) -> np.ndarray:
-        """L-BFGS-B polish of a candidate under one acquisition (§4)."""
+                f_best: float, mean: float, std: float,
+                start_util: float) -> np.ndarray:
+        """L-BFGS-B polish of a candidate under one acquisition (§4).
+
+        *start_util* is the start point's utility from the candidate
+        sweep, so accepting/rejecting the polished point costs no extra
+        GP prediction.
+        """
 
         def neg_util(u: np.ndarray) -> float:
-            m, s = gp.predict(u[None, :], return_std=True)
+            m, s = gp.fast_predict(u[None, :])
             mu_n = (float(m[0]) - mean) / std
             sigma_n = float(s[0]) / std
             return -float(acq(np.array([mu_n]), np.array([sigma_n]), f_best)[0])
@@ -222,5 +262,5 @@ class BOEngine:
         res = minimize(neg_util, start, method="L-BFGS-B",
                        bounds=[(0.0, 1.0)] * len(start),
                        options={"maxiter": 25})
-        return np.clip(res.x, 0.0, 1.0) if res.success or res.fun < neg_util(start) \
+        return np.clip(res.x, 0.0, 1.0) if res.success or res.fun < -start_util \
             else start

@@ -64,6 +64,12 @@ class ROBOTune(Tuner):
     engine_kwargs:
         Extra arguments forwarded to :class:`BOEngine` (portfolio, candidate
         counts, early stopping, ...).
+    n_jobs:
+        Workers for the selection phase's forest training and permutation
+        importance when the default selector is constructed (an explicit
+        *selector* keeps its own setting).  ``None`` defers to the
+        ``ROBOTUNE_JOBS`` environment variable.  Tuning decisions are
+        identical for any worker count.
     """
 
     name = "ROBOTune"
@@ -75,6 +81,7 @@ class ROBOTune(Tuner):
                  guard_multiplier: float = 3.0,
                  store_results: int = 4,
                  engine_kwargs: dict | None = None,
+                 n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
         if init_samples < 2:
             raise ValueError("init_samples must be >= 2")
@@ -92,6 +99,7 @@ class ROBOTune(Tuner):
         self.guard_multiplier = guard_multiplier
         self.store_results = store_results
         self.engine_kwargs = dict(engine_kwargs or {})
+        self.n_jobs = n_jobs
         self._rng = as_generator(rng)
 
     # -- main entry point ---------------------------------------------------------
@@ -111,7 +119,8 @@ class ROBOTune(Tuner):
         selected = self.selection_cache.get(cache_key) if cache_key else None
         result.selection_cache_hit = selected is not None
         if selected is None:
-            selector = self.selector or ParameterSelector(rng=rng)
+            selector = self.selector or ParameterSelector(rng=rng,
+                                                          n_jobs=self.n_jobs)
             sel_evals = selector.collect(objective, space)
             sel = selector.select(space, sel_evals)
             result.selection = sel

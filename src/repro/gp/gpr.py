@@ -13,11 +13,11 @@ import copy
 import math
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve
+from scipy.linalg import cho_factor, cho_solve, solve_triangular
 from scipy.optimize import minimize
 
 from ..utils.rng import as_generator
-from .kernels import ConstantKernel, Kernel, Matern52, WhiteKernel
+from .kernels import ConstantKernel, Kernel, Matern52, WhiteKernel, _cdist_sq
 
 __all__ = ["GaussianProcessRegressor", "default_bo_kernel"]
 
@@ -79,6 +79,100 @@ class GaussianProcessRegressor:
         if X.shape[0] == 0:
             raise ValueError("cannot fit on empty data")
         self._X = X
+        # Pairwise squared distances are hyperparameter-independent; cache
+        # them so likelihood restarts and refits reuse one computation.
+        self._d2 = _cdist_sq(X, X)
+        self._normalize_targets(y)
+
+        if self.optimize and X.shape[0] >= 2:
+            self._optimize_theta()
+        self._precompute()
+        self._fitted = True
+        return self
+
+    def update(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Warm refit: extend the model with appended observations.
+
+        When *X* equals the previous training matrix with zero or more new
+        rows appended and the kernel hyperparameters are unchanged since
+        the last factorization, the Cholesky factor is extended with a
+        rank-k update (:math:`O(kn^2)`) instead of refactorized
+        (:math:`O(n^3)`); the target normalization and the weight vector
+        are always recomputed exactly.  Any other change — shrunk or
+        reordered rows, different feature count, new hyperparameters —
+        falls back to a full :meth:`fit`.  The update never re-optimizes
+        hyperparameters, matching ``optimize=False`` fits.
+
+        The extended factor is mathematically exact; it differs from a
+        from-scratch factorization only by floating-point rounding (parity
+        within ~1e-8 is covered by tests).
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if (not self._fitted or X.ndim != 2
+                or y.shape != (X.shape[0],)
+                or X.shape[1] != self._X.shape[1]
+                or X.shape[0] < self._X.shape[0]
+                or not np.array_equal(self.kernel.theta, self._theta_chol)
+                or not np.array_equal(X[: self._X.shape[0]], self._X)):
+            saved_optimize = self.optimize
+            self.optimize = False
+            try:
+                return self.fit(X, y)
+            finally:
+                self.optimize = saved_optimize
+        n_old = self._X.shape[0]
+        k = X.shape[0] - n_old
+        if k == 0:
+            if not np.array_equal(self._y_raw, y):
+                self._normalize_targets(y)
+                self._weights = cho_solve(self._chol, self._y)
+            return self
+        X_new = X[n_old:]
+        if not self._extend_cholesky(X_new):
+            # Appended block made the factor numerically unstable: refit.
+            saved_optimize = self.optimize
+            self.optimize = False
+            try:
+                return self.fit(X, y)
+            finally:
+                self.optimize = saved_optimize
+        self._X = X
+        self._normalize_targets(y)
+        self._weights = cho_solve(self._chol, self._y)
+        return self
+
+    def _extend_cholesky(self, X_new: np.ndarray) -> bool:
+        """Append rows to the training set via a rank-k Cholesky update."""
+        n_old = self._X.shape[0]
+        k = X_new.shape[0]
+        K12 = self.kernel(self._X, X_new)
+        K22 = self.kernel(X_new) + self.alpha * np.eye(k)
+        L = self._chol[0]
+        B = solve_triangular(L, K12, lower=True, check_finite=False)
+        S = K22 - B.T @ B
+        try:
+            Ls = np.linalg.cholesky(S)
+        except np.linalg.LinAlgError:
+            return False
+        n = n_old + k
+        c = np.zeros((n, n))
+        c[:n_old, :n_old] = L
+        c[n_old:, :n_old] = B.T
+        c[n_old:, n_old:] = Ls
+        self._chol = (c, True)
+        # Extend the cached squared-distance matrix with the new block.
+        d2 = np.empty((n, n))
+        d2[:n_old, :n_old] = self._d2
+        cross = _cdist_sq(self._X, X_new)
+        d2[:n_old, n_old:] = cross
+        d2[n_old:, :n_old] = cross.T
+        d2[n_old:, n_old:] = _cdist_sq(X_new, X_new)
+        self._d2 = d2
+        return True
+
+    def _normalize_targets(self, y: np.ndarray) -> None:
+        self._y_raw = y.copy()
         if self.normalize_y:
             self._y_mean = float(y.mean())
             self._y_std = float(y.std())
@@ -88,16 +182,18 @@ class GaussianProcessRegressor:
             self._y_mean, self._y_std = 0.0, 1.0
         self._y = (y - self._y_mean) / self._y_std
 
-        if self.optimize and X.shape[0] >= 2:
-            self._optimize_theta()
-        self._precompute()
-        self._fitted = True
-        return self
+    def _K_train(self) -> np.ndarray:
+        """Training covariance (without jitter), from cached distances when
+        the kernel supports it."""
+        try:
+            return self.kernel.from_sq_dists(self._d2)
+        except NotImplementedError:
+            return self.kernel(self._X)
 
     def _nll(self, theta: np.ndarray) -> float:
         """Negative log marginal likelihood at the given hyperparameters."""
         self.kernel.theta = theta
-        K = self.kernel(self._X) + self.alpha * np.eye(self._X.shape[0])
+        K = self._K_train() + self.alpha * np.eye(self._X.shape[0])
         try:
             L = cho_factor(K, lower=True)
         except np.linalg.LinAlgError:
@@ -132,7 +228,7 @@ class GaussianProcessRegressor:
         self.kernel.theta = best_theta
 
     def _precompute(self) -> None:
-        K = self.kernel(self._X) + self.alpha * np.eye(self._X.shape[0])
+        K = self._K_train() + self.alpha * np.eye(self._X.shape[0])
         # Escalate jitter if the optimized kernel is barely positive definite.
         jitter = self.alpha if self.alpha > 0 else 1e-10
         for _ in range(8):
@@ -144,6 +240,7 @@ class GaussianProcessRegressor:
                 jitter *= 10.0
         else:  # pragma: no cover - pathological kernels only
             raise np.linalg.LinAlgError("covariance matrix not positive definite")
+        self._theta_chol = self.kernel.theta.copy()
         self._weights = cho_solve(self._chol, self._y)
 
     # -- prediction ---------------------------------------------------------------
@@ -165,6 +262,25 @@ class GaussianProcessRegressor:
         if not return_std:
             return mean
         v = cho_solve(self._chol, Ks.T)
+        var = self.kernel.latent_diag(X) - np.einsum("ij,ji->i", Ks, v)
+        var = np.maximum(var, 1e-12)
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    def fast_predict(self, X: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and std without input validation or finiteness
+        checks — the hot path for acquisition refinement, where the same
+        fitted model is queried thousands of times with single points.
+
+        Arithmetic is identical to ``predict(X, return_std=True)``; only
+        the defensive ``asarray``/shape/finite checks are skipped, so both
+        entry points return the same bits for valid input.
+        """
+        Ks = self.kernel(X, self._X)
+        mean = Ks @ self._weights
+        mean = mean * self._y_std + self._y_mean
+        v = cho_solve(self._chol, Ks.T, check_finite=False)
         var = self.kernel.latent_diag(X) - np.einsum("ij,ji->i", Ks, v)
         var = np.maximum(var, 1e-12)
         std = np.sqrt(var) * self._y_std

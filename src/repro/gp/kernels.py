@@ -53,6 +53,23 @@ class Kernel(ABC):
         """
         return self.diag(X)
 
+    def from_sq_dists(self, d2: np.ndarray) -> np.ndarray:
+        """Training covariance ``k(X, X)`` from precomputed squared
+        pairwise distances.
+
+        The squared-distance matrix is hyperparameter-independent, so the
+        GP regressor computes it once per training set and re-evaluates
+        the kernel cheaply at every candidate ``theta`` during marginal
+        -likelihood optimization.  Distance-based kernels that divide the
+        *unscaled* distance by their length scale (Matérn) reproduce
+        :meth:`__call__` bit-for-bit; :class:`RBF` rescales inputs before
+        the distance computation, so its cached path is only equivalent to
+        floating-point tolerance.  Kernels that cannot exploit the cache
+        raise :class:`NotImplementedError`, and callers fall back to the
+        direct evaluation.
+        """
+        raise NotImplementedError
+
     @property
     @abstractmethod
     def theta(self) -> np.ndarray:
@@ -92,6 +109,9 @@ class ConstantKernel(Kernel):
     def diag(self, X):
         return np.full(X.shape[0], self.value)
 
+    def from_sq_dists(self, d2):
+        return np.full(d2.shape, self.value)
+
     @property
     def theta(self):
         return np.array([math.log(self.value)])
@@ -122,6 +142,9 @@ class RBF(Kernel):
 
     def diag(self, X):
         return np.ones(X.shape[0])
+
+    def from_sq_dists(self, d2):
+        return np.exp(-0.5 * d2 / self.length_scale ** 2)
 
     @property
     def theta(self):
@@ -157,6 +180,11 @@ class Matern52(Kernel):
 
     def diag(self, X):
         return np.ones(X.shape[0])
+
+    def from_sq_dists(self, d2):
+        r = np.sqrt(d2) / self.length_scale
+        s = math.sqrt(5.0) * r
+        return (1.0 + s + s ** 2 / 3.0) * np.exp(-s)
 
     @property
     def theta(self):
@@ -196,6 +224,9 @@ class WhiteKernel(Kernel):
 
     def latent_diag(self, X):
         return np.zeros(X.shape[0])
+
+    def from_sq_dists(self, d2):
+        return self.noise_level * np.eye(d2.shape[0])
 
     @property
     def theta(self):
@@ -244,6 +275,9 @@ class Sum(_Binary):
     def diag(self, X):
         return self.k1.diag(X) + self.k2.diag(X)
 
+    def from_sq_dists(self, d2):
+        return self.k1.from_sq_dists(d2) + self.k2.from_sq_dists(d2)
+
     def latent_diag(self, X):
         return self.k1.latent_diag(X) + self.k2.latent_diag(X)
 
@@ -256,6 +290,9 @@ class Product(_Binary):
 
     def diag(self, X):
         return self.k1.diag(X) * self.k2.diag(X)
+
+    def from_sq_dists(self, d2):
+        return self.k1.from_sq_dists(d2) * self.k2.from_sq_dists(d2)
 
     def latent_diag(self, X):
         return self.k1.latent_diag(X) * self.k2.latent_diag(X)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils.parallel import parallel_map, resolve_n_jobs
 from ..utils.rng import as_generator, spawn
 from .metrics import r2_score
 from .tree import DecisionTreeRegressor
@@ -17,8 +18,37 @@ from .tree import DecisionTreeRegressor
 __all__ = ["RandomForestRegressor", "ExtraTreesRegressor"]
 
 
+def _fit_tree_job(task) -> tuple[DecisionTreeRegressor, np.ndarray | None]:
+    """Fit one tree of the ensemble (module-level for process pools).
+
+    Each task carries its own child generator, so the fitted tree — and
+    the bootstrap/OOB split drawn from that generator — is identical
+    whether tasks run serially, on threads, or across processes.
+    """
+    X, y, params, splitter, crng, bootstrap = task
+    n = X.shape[0]
+    if bootstrap:
+        idx = crng.integers(0, n, size=n)
+        oob = np.ones(n, dtype=bool)
+        oob[idx] = False
+    else:
+        idx = np.arange(n)
+        oob = None
+    tree = DecisionTreeRegressor(splitter=splitter, rng=crng, **params)
+    tree.fit(X[idx], y[idx])
+    return tree, oob
+
+
 class _BaseForestRegressor:
-    """Common machinery for bagged regression-tree ensembles."""
+    """Common machinery for bagged regression-tree ensembles.
+
+    ``n_jobs`` controls how many workers fit trees concurrently (see
+    :func:`repro.utils.parallel.resolve_n_jobs`; ``None`` defers to the
+    ``ROBOTUNE_JOBS`` environment variable).  Tree construction is
+    pure-Python and GIL-bound, so the default backend is ``"process"``;
+    results are independent of worker count and backend because every
+    tree owns a pre-spawned child generator.
+    """
 
     _splitter = "best"
 
@@ -27,6 +57,8 @@ class _BaseForestRegressor:
                  min_samples_split: int = 2, min_samples_leaf: int = 1,
                  max_features: int | float | str | None = "third",
                  bootstrap: bool = True,
+                 n_jobs: int | None = None,
+                 parallel_backend: str = "process",
                  rng: np.random.Generator | int | None = None):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -36,6 +68,8 @@ class _BaseForestRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.n_jobs = n_jobs
+        self.parallel_backend = parallel_backend
         self.rng = rng
         self._fitted = False
 
@@ -50,27 +84,21 @@ class _BaseForestRegressor:
         n = X.shape[0]
         rng = as_generator(self.rng)
         child_rngs = spawn(rng, self.n_estimators)
-        self.trees_: list[DecisionTreeRegressor] = []
+        params = dict(max_depth=self.max_depth,
+                      min_samples_split=self.min_samples_split,
+                      min_samples_leaf=self.min_samples_leaf,
+                      max_features=self.max_features)
+        tasks = [(X, y, params, self._splitter, crng, self.bootstrap)
+                 for crng in child_rngs]
+        fitted = parallel_map(_fit_tree_job, tasks,
+                              n_jobs=resolve_n_jobs(self.n_jobs),
+                              backend=self.parallel_backend)
+        self.trees_ = [tree for tree, _ in fitted]
         # oob_mask_[t, i] is True when sample i is out-of-bag for tree t.
         self.oob_mask_ = np.zeros((self.n_estimators, n), dtype=bool)
-        for t, crng in enumerate(child_rngs):
-            if self.bootstrap:
-                idx = crng.integers(0, n, size=n)
-                oob = np.ones(n, dtype=bool)
-                oob[idx] = False
+        for t, (_, oob) in enumerate(fitted):
+            if oob is not None:
                 self.oob_mask_[t] = oob
-            else:
-                idx = np.arange(n)
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                splitter=self._splitter,
-                rng=crng,
-            )
-            tree.fit(X[idx], y[idx])
-            self.trees_.append(tree)
         self.n_features_ = X.shape[1]
         self._X_train = X
         self._y_train = y

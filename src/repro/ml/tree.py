@@ -167,12 +167,63 @@ class DecisionTreeRegressor:
     def _find_split(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray,
                     k: int, rng: np.random.Generator):
         """Best (feature, threshold) for this node, or None if unsplittable."""
+        if self.splitter == "random":
+            return self._find_split_random(X, y, idx, k, rng)
+        return self._find_split_best(X, y, idx, k, rng)
+
+    def _find_split_best(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray,
+                         k: int, rng: np.random.Generator):
+        """CART split search, vectorized across candidate features.
+
+        Produces the same (feature, threshold, gain) the per-feature loop
+        would: the first ``k`` non-constant features in permutation order
+        are scored in one batch (first-occurrence-of-max tie-breaking, like
+        the loop's strict ``>`` comparison), and only if none of them
+        yields a positive gain does the scan extend feature-by-feature
+        through the rest (sklearn-compatible fallback).
+        """
+        features = rng.permutation(X.shape[1])
+        y_node = y[idx]
+        base_sse = float(np.sum((y_node - y_node.mean()) ** 2))
+        M = X[np.ix_(idx, features)]
+        nonconst = np.nonzero(M.min(axis=0) != M.max(axis=0))[0]
+        if nonconst.size == 0:
+            return None
+        first = nonconst[:k]
+        thrs, gains = self._best_thresholds_batch(M[:, first], y_node,
+                                                  base_sse)
+        best: tuple[int, float] | None = None
+        best_gain = 0.0
+        if np.any(gains > 0.0):
+            j = int(np.argmax(gains))
+            best = (int(features[first[j]]), float(thrs[j]))
+            best_gain = float(gains[j])
+        else:
+            for pos in nonconst[k:]:
+                res = self._best_threshold(M[:, pos], y_node, base_sse)
+                if res is not None:
+                    best = (int(features[pos]), res[0])
+                    best_gain = res[1]
+                    break
+        if best is None:
+            return None
+        feat, thr = best
+        mask = X[idx, feat] <= thr
+        left_idx, right_idx = idx[mask], idx[~mask]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            return None
+        return feat, thr, left_idx, right_idx, best_gain
+
+    def _find_split_random(self, X: np.ndarray, y: np.ndarray,
+                           idx: np.ndarray, k: int,
+                           rng: np.random.Generator):
+        """Extremely-randomized split search (one uniform threshold per
+        candidate feature, drawn in permutation order)."""
         n_feat = X.shape[1]
         features = rng.permutation(n_feat)
         best_gain = 0.0
         best: tuple[int, float] | None = None
         y_node = y[idx]
-        n = len(idx)
         base_sse = float(np.sum((y_node - y_node.mean()) ** 2))
         tried = 0
         for feat in features:
@@ -181,16 +232,10 @@ class DecisionTreeRegressor:
             if lo == hi:
                 continue  # constant feature: not a candidate, try the next
             tried += 1
-            if self.splitter == "random":
-                thr = float(rng.uniform(lo, hi))
-                gain = self._split_gain_at(col, y_node, thr, base_sse)
-                if gain is not None and gain > best_gain:
-                    best_gain, best = gain, (int(feat), thr)
-            else:
-                res = self._best_threshold(col, y_node, base_sse)
-                if res is not None and res[1] > best_gain:
-                    thr, gain = res[0], res[1]
-                    best_gain, best = gain, (int(feat), thr)
+            thr = float(rng.uniform(lo, hi))
+            gain = self._split_gain_at(col, y_node, thr, base_sse)
+            if gain is not None and gain > best_gain:
+                best_gain, best = gain, (int(feat), thr)
             # Stop after k candidate features, but if none of them yielded
             # a valid split keep scanning the rest (sklearn-compatible).
             if tried >= k and best is not None:
@@ -203,6 +248,41 @@ class DecisionTreeRegressor:
         if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
             return None
         return feat, thr, left_idx, right_idx, best_gain
+
+    def _best_thresholds_batch(self, M: np.ndarray, y: np.ndarray,
+                               base_sse: float
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Exhaustive CART threshold search on every column of *M* at once.
+
+        Per-column results are bit-identical to :meth:`_best_threshold`
+        (same cumulative-sum formulation, evaluated along axis 0); columns
+        with no valid split get gain ``-inf``.
+        """
+        n, f = M.shape
+        order = np.argsort(M, axis=0, kind="stable")
+        cs = np.take_along_axis(M, order, axis=0)
+        ys = y[order]
+        csum = np.cumsum(ys, axis=0)
+        csum2 = np.cumsum(ys ** 2, axis=0)
+        total, total2 = csum[-1], csum2[-1]
+        left_n = np.arange(1, n, dtype=float)[:, None]
+        m = self.min_samples_leaf
+        valid = cs[1:] > cs[:-1]
+        valid &= (left_n >= m) & ((n - left_n) >= m)
+        ls, ls2 = csum[:-1], csum2[:-1]
+        rs, rs2 = total - ls, total2 - ls2
+        sse = (ls2 - ls ** 2 / left_n) + (rs2 - rs ** 2 / (n - left_n))
+        sse = np.where(valid, sse, np.inf)
+        best_i = np.argmin(sse, axis=0)
+        cols = np.arange(f)
+        best_sse = sse[best_i, cols]
+        gains = base_sse - best_sse
+        ok = np.isfinite(best_sse) & (gains > 0.0)
+        gains = np.where(ok, gains, -np.inf)
+        thrs = np.where(ok, 0.5 * (cs[best_i, cols]
+                                   + cs[np.minimum(best_i + 1, n - 1), cols]),
+                        np.nan)
+        return thrs, gains
 
     def _best_threshold(self, col: np.ndarray, y: np.ndarray,
                         base_sse: float) -> tuple[float, float] | None:

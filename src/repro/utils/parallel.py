@@ -1,0 +1,108 @@
+"""Shared executor abstraction for the library's compute hot paths.
+
+Every parallelizable component (forest training, permutation importance,
+the experiment harness) accepts an ``n_jobs`` parameter and funnels its
+work through :func:`parallel_map`, so worker-pool policy lives in one
+place:
+
+* ``n_jobs=None`` defers to the ``ROBOTUNE_JOBS`` environment variable
+  (unset/empty means serial) — the knob for turning on parallelism
+  globally without touching call sites;
+* ``n_jobs=1`` is strictly serial: the function runs in-process, in
+  order, with no pool, so single-job results are byte-identical to the
+  pre-parallel code;
+* ``n_jobs=-1`` uses every available core (``-2`` all but one, etc.).
+
+Determinism is the caller's contract: work items must carry their own
+random state (see :func:`repro.utils.rng.spawn`) so results do not depend
+on scheduling order.  ``parallel_map`` always returns results in input
+order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+__all__ = ["ENV_JOBS", "available_cpus", "resolve_n_jobs", "parallel_map"]
+
+ENV_JOBS = "ROBOTUNE_JOBS"
+
+_BACKENDS = ("serial", "thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Resolve an ``n_jobs`` spec into a concrete worker count (>= 1).
+
+    ``None`` reads ``ROBOTUNE_JOBS`` (defaulting to 1 when unset); negative
+    values count back from the number of available CPUs, joblib-style
+    (``-1`` = all cores).
+    """
+    if n_jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"{ENV_JOBS} must be an integer, got {raw!r}")
+    n_jobs = int(n_jobs)
+    if n_jobs < 0:
+        n_jobs = available_cpus() + 1 + n_jobs
+    if n_jobs < 1:
+        raise ValueError("n_jobs must resolve to >= 1 worker")
+    return n_jobs
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
+                 n_jobs: int | None = None, backend: str = "thread",
+                 chunksize: int | None = None) -> list[R]:
+    """Map *fn* over *items*, optionally across a worker pool.
+
+    Parameters
+    ----------
+    fn:
+        The per-item worker.  With ``backend="process"`` it must be
+        picklable (a module-level function or :func:`functools.partial`
+        of one), as must every item and result.
+    n_jobs:
+        Worker count spec (see :func:`resolve_n_jobs`).  A resolved count
+        of 1 — the default when ``ROBOTUNE_JOBS`` is unset — bypasses the
+        pool entirely.
+    backend:
+        ``"thread"`` for GIL-releasing (numpy/BLAS-heavy) work,
+        ``"process"`` for pure-Python CPU-bound work such as tree
+        fitting, ``"serial"`` to force in-process execution.
+    chunksize:
+        Items per process-pool task (ignored by the thread backend);
+        defaults to spreading items evenly over the workers.
+
+    Returns results in input order.  Exceptions raised by *fn* propagate
+    to the caller (the first one encountered in input order).
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    items = list(items)
+    jobs = resolve_n_jobs(n_jobs)
+    if backend == "serial" or jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (workers * 2))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -1,0 +1,47 @@
+"""Parallel-training parity: worker count must not change the forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import ExtraTreesRegressor, RandomForestRegressor
+
+
+def make_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 6))
+    y = 3 * X[:, 0] + np.sin(5 * X[:, 1]) + rng.normal(0, 0.05, n)
+    return X, y
+
+
+def assert_forests_identical(a, b):
+    assert len(a.trees_) == len(b.trees_)
+    np.testing.assert_array_equal(a.oob_mask_, b.oob_mask_)
+    Xq = np.random.default_rng(99).random((50, a._X_train.shape[1]))
+    for ta, tb in zip(a.trees_, b.trees_):
+        np.testing.assert_array_equal(ta.predict(Xq), tb.predict(Xq))
+
+
+@pytest.mark.parametrize("cls", [RandomForestRegressor, ExtraTreesRegressor])
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_fit_matches_serial(cls, backend):
+    X, y = make_data()
+    serial = cls(20, rng=7).fit(X, y)
+    par = cls(20, n_jobs=2, parallel_backend=backend, rng=7).fit(X, y)
+    assert_forests_identical(serial, par)
+
+
+@pytest.mark.parametrize("cls", [RandomForestRegressor, ExtraTreesRegressor])
+def test_env_var_controls_default(cls, monkeypatch):
+    X, y = make_data(seed=3)
+    serial = cls(10, rng=1).fit(X, y)
+    monkeypatch.setenv("ROBOTUNE_JOBS", "2")
+    par = cls(10, parallel_backend="thread", rng=1).fit(X, y)
+    assert_forests_identical(serial, par)
+
+
+def test_oob_score_unchanged_by_jobs():
+    X, y = make_data(seed=5)
+    s1 = RandomForestRegressor(25, rng=4).fit(X, y).oob_score()
+    s2 = RandomForestRegressor(25, n_jobs=3, parallel_backend="thread",
+                               rng=4).fit(X, y).oob_score()
+    assert s1 == s2
