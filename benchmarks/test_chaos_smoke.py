@@ -1,0 +1,91 @@
+"""Chaos smoke benchmark: tuning under a fixed transient-fault plan.
+
+Runs short ROBOTune and RandomSearch sessions with fault injection at a
+fixed plan seed and asserts the resilience guarantees that matter
+operationally: the session completes (no unhandled exception), spends its
+full budget, surfaces faults, and the retry/backoff overhead stays
+bounded relative to the fault-free twin of the same session.  The E-ROB
+fault-rate sweep table is rendered into ``results/`` alongside the other
+artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.experiments import run_robustness_experiment
+from repro.core.tuner import ROBOTune
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.space.spark_params import spark_space
+from repro.tuners.objective import WorkloadObjective
+from repro.tuners.random_search import RandomSearch
+from repro.workloads.registry import get_workload
+
+from conftest import TRIALS
+
+SEED = 11
+FAULT_RATE = 0.1
+BUDGET = 30
+
+
+def _objective(space, *, faults: float):
+    objective = WorkloadObjective(get_workload("pagerank", "D1"), space,
+                                  rng=np.random.default_rng(SEED + 1))
+    if faults:
+        objective = FaultInjector(objective,
+                                  FaultPlan(faults, seed=SEED + 2),
+                                  retry=RetryPolicy(max_retries=2))
+    return objective
+
+
+def test_chaos_random_search_bounded_overhead(capsys):
+    space = spark_space()
+    clean = RandomSearch().tune(_objective(space, faults=0.0), BUDGET,
+                                rng=np.random.default_rng(SEED))
+    faulted_obj = _objective(space, faults=FAULT_RATE)
+    faulted = RandomSearch().tune(faulted_obj, BUDGET,
+                                  rng=np.random.default_rng(SEED))
+    stats = faulted_obj.stats
+
+    assert faulted.n_evaluations == BUDGET
+    assert stats["injected"] > 0
+    # At a 10% fault rate with the documented slowdown/abort magnitudes
+    # and <=2 retries, the whole chaos tax — retried attempts, backoff,
+    # stretched runs — must stay well under a 2x search-cost blowup.
+    overhead = faulted.search_cost_s / clean.search_cost_s
+    # The injector always executes the wrapped run, so the fault-free
+    # twin saw the identical underlying simulator draws.
+    assert faulted.search_cost_s >= clean.search_cost_s
+    assert overhead < 2.0
+    # Quality may degrade but the session still finds a usable config.
+    assert np.isfinite(faulted.best_time_s)
+    with capsys.disabled():
+        print(f"\nchaos RS (rate {FAULT_RATE}, budget {BUDGET}): "
+              f"{stats['injected']} injected, {stats['transient']} surfaced, "
+              f"{stats['retries']} retries, cost overhead {overhead:.2f}x, "
+              f"best {faulted.best_time_s:.0f}s vs clean "
+              f"{clean.best_time_s:.0f}s")
+
+
+def test_chaos_robotune_completes(capsys):
+    space = spark_space()
+    objective = _objective(space, faults=FAULT_RATE)
+    result = ROBOTune(rng=SEED).tune(objective, BUDGET,
+                                     rng=np.random.default_rng(SEED))
+    stats = objective.stats
+    assert result.n_evaluations == BUDGET
+    assert np.isfinite(result.best_time_s)
+    assert stats["injected"] > 0
+    with capsys.disabled():
+        print(f"chaos ROBOTune (rate {FAULT_RATE}, budget {BUDGET}): "
+              f"best {result.best_time_s:.0f}s, {stats['injected']} faults "
+              f"injected, {stats['retries']} retries")
+
+
+def test_robustness_sweep_report(emit):
+    table = run_robustness_experiment(budget=25, trials=min(TRIALS, 2),
+                                      fault_rates=(0.0, 0.05, 0.1, 0.2),
+                                      tuners=("ROBOTune", "RandomSearch"),
+                                      base_seed=SEED, n_jobs=None)
+    emit("e_rob_fault_sweep", table)
+    assert "fault rate" in table

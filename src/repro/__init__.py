@@ -29,6 +29,9 @@ Packages
 ``repro.tuners``
     The common tuner interface and the BestConfig / Gunther / Random
     Search baselines.
+``repro.faults``
+    Resilience layer: deterministic transient-fault injection and retry
+    policies (docs/ROBUSTNESS.md).
 ``repro.bench``
     The experiment harness that regenerates every table and figure.
 """
@@ -36,6 +39,7 @@ Packages
 from .core import (
     BOEngine,
     ConfigMemoizationBuffer,
+    EvaluationJournal,
     GPHedge,
     MedianGuard,
     ParameterSelectionCache,
@@ -43,6 +47,7 @@ from .core import (
     ROBOTune,
     ROBOTuneResult,
 )
+from .faults import FaultInjector, FaultPlan, RetryPolicy
 from .space import ConfigSpace, ConfigurationEncoder, spark_space
 from .sparksim import ExecutionResult, RunStatus, SparkConf, SparkSimulator
 from .tuners import (
@@ -65,6 +70,10 @@ __all__ = [
     "ParameterSelector",
     "ParameterSelectionCache",
     "ConfigMemoizationBuffer",
+    "EvaluationJournal",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
     "ConfigSpace",
     "ConfigurationEncoder",
     "spark_space",

@@ -14,6 +14,9 @@ E-F7       Figure 7 — parameter-selection recall vs sample count
 E-F8       Figure 8 — sampling behaviour in the cores×memory plane
 E-F9       Figure 9 — GP response surface over tuning iterations
 E-DEF      §5.2 text — tuned vs default-configuration comparison
+E-ROB      docs/ROBUSTNESS.md — tuner quality degradation vs transient
+           fault rate (not a paper artifact; added with the resilience
+           layer)
 =========  ==================================================================
 """
 
@@ -32,7 +35,7 @@ from ..workloads.datasets import DATASET_LABELS, SCALE_UNITS, TABLE1
 from ..workloads.registry import WORKLOADS, get_workload
 from .figures import (RecallPoint, model_r2_scores, response_surface,
                       selection_recall_sweep)
-from .harness import StudyResult
+from .harness import ComparisonStudy, StudyResult
 from .reporting import format_table, section
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "render_fig8",
     "render_fig9",
     "run_default_comparison",
+    "run_robustness_experiment",
     "svg_fig3",
     "svg_fig4",
     "svg_fig6",
@@ -446,3 +450,57 @@ def run_default_comparison(study: StudyResult | None = None, *,
     return format_table(
         ["Workload", "default status", "default (s)", "tuned (s)", "note"],
         rows, title="§5.2: default configuration vs tuned (uncapped)")
+
+
+# --------------------------------------------------------------------------- E-ROB
+def run_robustness_experiment(*, workload: str = "pagerank",
+                              dataset: str = "D1", budget: int = 50,
+                              trials: int = 2,
+                              fault_rates: Sequence[float] = (0.0, 0.05,
+                                                              0.1, 0.2),
+                              retries: int = 2,
+                              tuners: Sequence[str] = ("ROBOTune",
+                                                       "RandomSearch"),
+                              base_seed: int = 0,
+                              n_jobs: int | None = None) -> str:
+    """Tuner quality degradation under transient fault injection.
+
+    Sweeps *fault_rates* over otherwise-identical comparison studies (one
+    workload/dataset to keep the cost of the sweep reasonable).  Because
+    the fault plan is seeded from the session's grid coordinates and the
+    injector always executes the wrapped objective, the underlying
+    simulator draws are identical across rates — differences in the
+    reported best time are attributable to the faults themselves.
+
+    Reports, per (rate, tuner): the mean best execution time (NaN-mean,
+    since an all-failed session records NaN), its degradation relative to
+    the same tuner's fault-free mean, the mean search cost (retry backoff
+    included), and the total transient failures surfaced / retries spent.
+    """
+    first: dict[str, float] = {}
+    rows = []
+    for rate in fault_rates:
+        study = ComparisonStudy(budget=budget, trials=trials,
+                                workloads=[workload], datasets=[dataset],
+                                tuners=list(tuners), fault_rate=rate,
+                                retries=retries, base_seed=base_seed,
+                                n_jobs=n_jobs).run()
+        for tuner in tuners:
+            recs = study.filter(tuner=tuner)
+            best = float(np.nanmean([r.best_time_s for r in recs]))
+            cost = float(np.mean([r.search_cost_s for r in recs]))
+            first.setdefault(tuner, best)
+            base = first[tuner]
+            degr = (best - base) / base * 100.0 if base else float("nan")
+            rows.append((f"{rate:.2f}", tuner, best, f"{degr:+.1f}%",
+                         cost / 60.0,
+                         sum(r.n_transient for r in recs),
+                         sum(r.n_retries for r in recs)))
+    table = format_table(
+        ["fault rate", "tuner", "mean best (s)", "vs fault-free",
+         "cost (min)", "transient", "retries"],
+        rows,
+        title=f"E-ROB: fault-rate sweep ({workload}/{dataset}, "
+              f"budget {budget}, {trials} trials, {retries} retries)")
+    return section("Robustness: tuning under transient faults") \
+        + "\n" + table

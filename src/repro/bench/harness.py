@@ -20,6 +20,7 @@ import numpy as np
 from ..core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from ..core.selection import ParameterSelector
 from ..core.tuner import ROBOTune
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..space.spark_params import spark_space
 from ..sparksim.cluster import ClusterSpec
 from ..tuners.base import Tuner, TuningResult
@@ -54,6 +55,8 @@ class SessionRecord:
                                             # cores/memory (Figure 8)
     statuses: tuple[str, ...]
     result: TuningResult | None = None
+    n_transient: int = 0                    # fault-caused failures surfaced
+    n_retries: int = 0                      # extra attempts spent on faults
 
 
 @dataclass
@@ -100,6 +103,13 @@ class ComparisonStudy:
     keep_results:
         Attach the full :class:`TuningResult` to each record (needed by
         Figures 8/9; costs memory).
+    fault_rate / retries:
+        Transient-fault injection for robustness studies: every session's
+        objective is wrapped in a :class:`~repro.faults.FaultInjector`
+        with a plan seeded from the session's grid coordinates (so fault
+        sequences are reproducible and identical across tuners for the
+        same coordinate), retrying transient failures up to *retries*
+        times.  Rate 0 (the default) leaves objectives unwrapped.
     n_jobs / parallel_backend:
         Workers for running independent ``(trial, workload, tuner)``
         sweeps concurrently (each sweep still visits its datasets in
@@ -116,10 +126,18 @@ class ComparisonStudy:
                  cluster: ClusterSpec | None = None,
                  time_limit_s: float = DEFAULT_TIME_LIMIT_S,
                  keep_results: bool = False,
+                 fault_rate: float = 0.0,
+                 retries: int = 2,
                  selector_factory: Callable[[np.random.Generator], ParameterSelector] | None = None,
                  n_jobs: int | None = None,
                  parallel_backend: str = "process",
                  base_seed: int = 0):
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.fault_rate = fault_rate
+        self.retries = retries
         self.budget = budget
         self.trials = trials
         self.workloads = list(workloads or all_workload_names())
@@ -201,11 +219,24 @@ class ComparisonStudy:
         objective = WorkloadObjective(wl, self.space, cluster=self.cluster,
                                       time_limit_s=self.time_limit_s,
                                       rng=np.random.default_rng(seed + 1))
+        if self.fault_rate > 0.0:
+            retry = RetryPolicy(max_retries=self.retries) \
+                if self.retries else None
+            objective = FaultInjector(
+                objective, FaultPlan(self.fault_rate, seed=seed + 2),
+                retry=retry)
         tuner = self._make_tuner(tuner_name, rng, stores)
         result = tuner.tune(objective, self.budget, rng=rng)
+        try:
+            best_time_s = result.best_time_s
+        except RuntimeError:
+            # Every evaluation failed (possible under heavy fault
+            # injection): record the session as NaN instead of aborting
+            # the whole study.
+            best_time_s = float("nan")
         return SessionRecord(
             tuner=tuner_name, workload=workload, dataset=dataset, trial=trial,
-            best_time_s=result.best_time_s,
+            best_time_s=best_time_s,
             search_cost_s=result.search_cost_s,
             selection_cost_s=result.selection_cost_s,
             cache_hit=getattr(result, "selection_cache_hit", False),
@@ -218,4 +249,6 @@ class ComparisonStudy:
             if result.evaluations else np.empty((0, 2)),
             statuses=tuple(e.status.value for e in result.evaluations),
             result=result if self.keep_results else None,
+            n_transient=sum(e.transient for e in result.evaluations),
+            n_retries=sum(e.attempts - 1 for e in result.evaluations),
         )

@@ -26,9 +26,11 @@ from pathlib import Path
 import numpy as np
 
 from .bench.reporting import format_table
+from .core.journal import EvaluationJournal
 from .core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from .core.selection import ParameterSelector
 from .core.tuner import ROBOTune
+from .faults import FaultInjector, FaultPlan, RetryPolicy
 from .space.encoder import ConfigurationEncoder
 from .space.spark_params import spark_space
 from .sparksim.analysis import TraceAnalyzer
@@ -64,11 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the best configuration as "
                              "spark-defaults.conf text")
     _jobs(p_tune)
+    _resilience(p_tune)
+    p_tune.add_argument("--journal", default=None, metavar="FILE",
+                        help="crash-safe evaluation journal (JSONL); every "
+                             "finished evaluation is fsync'd so a killed "
+                             "run can be resumed")
+    p_tune.add_argument("--resume", action="store_true",
+                        help="resume a killed session from --journal "
+                             "(bit-identical for the same seed)")
 
     p_cmp = sub.add_parser("compare", help="compare the four tuners")
     _common(p_cmp)
     p_cmp.add_argument("--trials", type=int, default=1)
     _jobs(p_cmp)
+    _resilience(p_cmp)
 
     p_imp = sub.add_parser("importance", help="rank parameter importance")
     _common(p_imp)
@@ -103,6 +114,45 @@ def _jobs(p: argparse.ArgumentParser) -> None:
                         "identical for any value")
 
 
+def _resilience(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                   help="transient-fault injection rate per evaluation "
+                        "attempt, in [0, 1] (default: 0 = off); see "
+                        "docs/ROBUSTNESS.md for the fault taxonomy")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="max retries for transient failures, with "
+                        "exponential backoff charged to search cost "
+                        "(default: 2; 0 disables retrying)")
+
+
+def _validate_resilience(args) -> str | None:
+    """Fail-fast message for bad resilience flags, or None when valid."""
+    if hasattr(args, "faults") and not 0.0 <= args.faults <= 1.0:
+        return f"--faults rate must be in [0, 1], got {args.faults}"
+    if hasattr(args, "retries") and args.retries < 0:
+        return f"--retries must be >= 0, got {args.retries}"
+    if getattr(args, "resume", False):
+        if not args.journal:
+            return "--resume requires --journal FILE"
+        if not Path(args.journal).exists():
+            return f"--resume requires an existing journal, " \
+                   f"none at {args.journal}"
+    elif getattr(args, "journal", None) and Path(args.journal).exists() \
+            and Path(args.journal).stat().st_size > 0:
+        return f"journal {args.journal} already holds a session; " \
+               "pass --resume to continue it or remove the file"
+    return None
+
+
+def _wrap_faults(objective, args, seed: int):
+    """Apply --faults/--retries to an objective (no-op at rate 0)."""
+    if not getattr(args, "faults", 0.0):
+        return objective
+    retry = RetryPolicy(max_retries=args.retries) if args.retries else None
+    return FaultInjector(objective, FaultPlan(args.faults, seed=seed),
+                         retry=retry)
+
+
 # -- commands ----------------------------------------------------------------------
 def cmd_workloads(args) -> int:
     rows = [(WORKLOADS[name].abbrev, name,
@@ -125,9 +175,19 @@ def cmd_tune(args) -> int:
         store.mkdir(parents=True, exist_ok=True)
         cache = ParameterSelectionCache(store / "selection_cache.json")
         memo = ConfigMemoizationBuffer(store / "memo_buffer.json")
+    objective = _wrap_faults(objective, args, args.seed)
     tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
                      n_jobs=args.jobs, rng=args.seed)
-    result = tuner.tune(objective, args.budget, rng=args.seed)
+    if args.journal:
+        journal = EvaluationJournal(args.journal)
+        if args.resume:
+            result = tuner.resume(objective, args.budget, journal,
+                                  rng=args.seed)
+        else:
+            result = tuner.checkpoint(objective, args.budget, journal,
+                                      rng=args.seed)
+    else:
+        result = tuner.tune(objective, args.budget, rng=args.seed)
 
     print(f"workload:        {workload.full_key}")
     print(f"selection:       {'cache hit' if result.selection_cache_hit else 'cold'}"
@@ -137,6 +197,15 @@ def cmd_tune(args) -> int:
           f"(search cost {result.search_cost_s / 60:.1f} min)")
     print(f"best objective:  {result.best_time_s:.1f} "
           f"({'s' if args.metric == 'time' else args.metric})")
+    if args.faults:
+        s = objective.stats
+        print(f"faults:          rate {args.faults:g}: {s['injected']} "
+              f"injected, {s['transient']} transient failures surfaced, "
+              f"{s['retries']} retries (+{s['backoff_s']:.0f}s backoff)")
+    if args.journal:
+        n = len(EvaluationJournal(args.journal))
+        print(f"journal:         {args.journal} ({n} evaluations"
+              f"{', resumed' if args.resume else ''})")
     if args.emit_conf:
         encoder = ConfigurationEncoder(space)
         Path(args.emit_conf).write_text(
@@ -160,10 +229,17 @@ def cmd_compare(args) -> int:
             objective = WorkloadObjective(
                 get_workload(args.workload, args.dataset), space,
                 rng=seed + 1)
+            objective = _wrap_faults(objective, args, seed + 2)
             res = make(seed).tune(objective, args.budget, rng=seed)
-            bests.append(res.best_time_s)
+            try:
+                bests.append(res.best_time_s)
+            except RuntimeError:
+                # Every evaluation failed (heavy fault injection on a
+                # tiny budget): report NaN rather than crashing.
+                bests.append(float("nan"))
             costs.append(res.search_cost_s)
-        rows.append([name, float(np.mean(bests)),
+        rows.append([name, float(np.nanmean(bests)) if not
+                     all(np.isnan(bests)) else float("nan"),
                      float(np.mean(costs)) / 60.0])
         if name == "RandomSearch":
             baseline_best, baseline_cost = rows[-1][1], rows[-1][2]
@@ -274,6 +350,11 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    # Same fail-fast treatment for the resilience flags.
+    problem = _validate_resilience(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     return _COMMANDS[args.command](args)
 
 

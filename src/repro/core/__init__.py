@@ -11,6 +11,7 @@ from .acquisition import (
 from .bo import BOEngine, BOIterationRecord
 from .guard import MedianGuard
 from .hedge import GPHedge, HedgeChoice
+from .journal import EvalRecord, EvaluationJournal, JournaledObjective
 from .memo import ConfigMemoizationBuffer, MemoizedConfig, ParameterSelectionCache
 from .selection import ParameterSelector, SelectionResult
 from .transfer import MappingResult, WorkloadMapper
@@ -28,6 +29,9 @@ __all__ = [
     "BOEngine",
     "BOIterationRecord",
     "MedianGuard",
+    "EvaluationJournal",
+    "JournaledObjective",
+    "EvalRecord",
     "ParameterSelectionCache",
     "ConfigMemoizationBuffer",
     "MemoizedConfig",

@@ -30,6 +30,29 @@ from .hedge import GPHedge
 
 __all__ = ["BOEngine", "BOIterationRecord"]
 
+#: Standardization floor: observation windows whose spread is below this
+#: (all evaluations censored at one cap, or a single repeated value) carry
+#: no ranking signal; dividing by their std would overflow or go NaN.
+_STD_FLOOR = 1e-12
+
+
+def _safe_std(y: np.ndarray) -> float:
+    """Standard deviation with an epsilon floor for degenerate windows.
+
+    Returns 1.0 (standardized residuals become plain residuals, which are
+    ~0 for a constant window) whenever the spread is non-finite or below
+    :data:`_STD_FLOOR` — the all-censored case a fault-heavy session can
+    produce.
+    """
+    std = float(np.asarray(y).std())
+    if not np.isfinite(std) or std < _STD_FLOOR:
+        return 1.0
+    return std
+
+
+class _DegenerateObservations(Exception):
+    """Observation window carries no signal for fitting a surrogate."""
+
 
 @dataclass(frozen=True)
 class BOIterationRecord:
@@ -44,6 +67,12 @@ class BOIterationRecord:
 
 class BOEngine:
     """GP + GP-Hedge minimization loop.
+
+    Iterations where no usable surrogate exists — the covariance cannot be
+    factorized even after jitter escalation, or every observation is
+    censored at a single cap (zero spread) — degrade to a space-filling
+    LHS proposal instead of raising; ``fallbacks`` counts them (see
+    docs/ROBUSTNESS.md).
 
     Parameters
     ----------
@@ -94,6 +123,9 @@ class BOEngine:
         self.early_stop_patience = early_stop_patience
         self.incremental = incremental
         self.records: list[BOIterationRecord] = []
+        #: iterations that fell back to an LHS proposal because the GP
+        #: could not be fit or the observation window was degenerate.
+        self.fallbacks: int = 0
         self._theta: np.ndarray | None = None
         self._gp: GaussianProcessRegressor | None = None
         self.last_gp: GaussianProcessRegressor | None = None
@@ -136,10 +168,25 @@ class BOEngine:
         since_improve = 0
         best_so_far = min(y)
         for it in range(budget):
-            gp = self._fit_gp(np.vstack(X), np.asarray(y), len(evals))
-            nominees = self._nominate(gp, np.asarray(y), space)
-            choice = self.hedge.choose(nominees)
-            u = space.snap(choice.nominees[choice.chosen_index])
+            # Graceful degradation (docs/ROBUSTNESS.md): a GP that cannot
+            # be factorized even after jitter escalation, or an
+            # observation window with no spread (every evaluation censored
+            # at one cap), yields no usable surrogate — propose a
+            # space-filling LHS point for this iteration instead of
+            # raising away the whole session.
+            choice = None
+            try:
+                y_arr = np.asarray(y)
+                if float(np.ptp(y_arr)) < _STD_FLOOR:
+                    raise _DegenerateObservations
+                gp = self._fit_gp(np.vstack(X), y_arr, len(evals))
+                nominees = self._nominate(gp, y_arr, space)
+                choice = self.hedge.choose(nominees)
+                u = space.snap(choice.nominees[choice.chosen_index])
+            except (np.linalg.LinAlgError, _DegenerateObservations):
+                self.fallbacks += 1
+                u = space.snap(
+                    latin_hypercube(1, space.dim, self._rng)[0])
 
             threshold = guard.threshold_s() if guard is not None else None
             ev = evaluate(u, threshold)
@@ -149,17 +196,27 @@ class BOEngine:
             if guard is not None:
                 guard.observe(ev.cost_s, ev.ok)
 
-            # Refit (cheap) and update Hedge gains with the posterior mean
-            # at every nominee, standardized and negated for minimization.
-            gp2 = self._fit_gp(np.vstack(X), np.asarray(y), None)
-            mu = gp2.predict(choice.nominees)
-            y_arr = np.asarray(y)
-            std = float(y_arr.std()) or 1.0
-            self.hedge.update(-(mu - y_arr.mean()) / std)
+            if choice is not None:
+                # Refit (cheap) and update Hedge gains with the posterior
+                # mean at every nominee, standardized and negated for
+                # minimization.  Skipped on fallback iterations — there
+                # were no nominees to score.
+                try:
+                    gp2 = self._fit_gp(np.vstack(X), np.asarray(y), None)
+                    mu = gp2.predict(choice.nominees)
+                    y_arr = np.asarray(y)
+                    std = _safe_std(y_arr)
+                    self.hedge.update(-(mu - y_arr.mean()) / std)
+                except np.linalg.LinAlgError:
+                    self.fallbacks += 1
 
             self.records.append(BOIterationRecord(
-                iteration=it, chosen_acquisition=choice.chosen_name,
-                probabilities=choice.probabilities, point=u,
+                iteration=it,
+                chosen_acquisition=choice.chosen_name if choice is not None
+                else "fallback/lhs",
+                probabilities=choice.probabilities if choice is not None
+                else np.array([]),
+                point=u,
                 objective=ev.objective))
 
             if ev.objective < best_so_far - 1e-9:
@@ -213,7 +270,7 @@ class BOEngine:
         """(mu, sigma, f_best) on the standardized objective scale."""
         mu, sigma = gp.predict(U, return_std=True)
         mean = float(y.mean())
-        std = float(y.std()) or 1.0
+        std = _safe_std(y)
         # Censored objectives included: failures repel the search.
         f_best = (float(y.min()) - mean) / std
         return (mu - mean) / std, sigma / std, f_best
@@ -232,7 +289,7 @@ class BOEngine:
         mu, sigma, f_best = self._standardized(gp, y, U)
 
         mean = float(y.mean())
-        std = float(y.std()) or 1.0
+        std = _safe_std(y)
         nominees = np.empty((len(self.hedge.functions), dim))
         for i, acq in enumerate(self.hedge.functions):
             util = acq(mu, sigma, f_best)

@@ -1,0 +1,263 @@
+"""Crash-safe evaluation journal (docs/ROBUSTNESS.md).
+
+An append-only JSONL file recording every finished evaluation of a tuning
+session, fsync'd per record so a killed process loses at most the
+evaluation in flight.  Each record also snapshots the objective's RNG
+state *after* the evaluation, which is what makes resume bit-identical:
+
+* Tuner decisions are a deterministic function of the tuner seed and the
+  sequence of evaluation outcomes.  Resuming re-runs the tuner with the
+  same seed while :class:`JournaledObjective` serves the journaled
+  outcomes in order instead of re-executing them, so the tuner replays
+  the exact decision path without re-paying cluster time.
+* The simulator's noise stream is consumed only by real executions.  When
+  the replay queue drains, the objective's generator is restored from the
+  last snapshot, and the first live evaluation draws exactly the noise it
+  would have drawn in an uninterrupted run.
+
+A torn final line (the classic crash artifact) is tolerated: parsing
+stops at the first corrupt line and the session resumes from the last
+intact record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..sparksim.result import RunStatus
+from ..tuners.base import Evaluation
+
+__all__ = ["EvaluationJournal", "JournaledObjective", "EvalRecord"]
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays that leak into configs or states."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One journaled evaluation plus the post-evaluation RNG snapshot."""
+
+    vector: list[float]
+    config: dict[str, Any]
+    objective: float
+    cost_s: float
+    status: str
+    truncated: bool
+    transient: bool
+    fault: str | None
+    attempts: int
+    rng_state: dict | None
+
+    def to_evaluation(self) -> Evaluation:
+        return Evaluation(
+            vector=np.asarray(self.vector, dtype=float),
+            config=dict(self.config),
+            objective=float(self.objective),
+            cost_s=float(self.cost_s),
+            status=RunStatus(self.status),
+            truncated=bool(self.truncated),
+            transient=bool(self.transient),
+            fault=self.fault,
+            attempts=int(self.attempts),
+        )
+
+
+class EvaluationJournal:
+    """Append-only JSONL journal of one tuning session.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created on the first write.
+    fsync:
+        Force each record to stable storage (the crash-safety guarantee;
+        disable only in tests where speed matters more than durability).
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self._fsync = fsync
+        self._fh = None
+
+    # -- writing ------------------------------------------------------------------
+    def write_meta(self, meta: Mapping[str, Any]) -> None:
+        """Start a fresh journal with a session-identity header.
+
+        Refuses to overwrite an existing non-empty journal: appending a
+        second session to a journal would corrupt replay ordering.  Use
+        :meth:`load` + resume to continue a session instead.
+        """
+        if self.path.exists() and self.path.stat().st_size > 0:
+            raise FileExistsError(
+                f"journal {self.path} already holds a session; resume from "
+                "it or remove it before starting a new one")
+        self._write_line({"kind": "meta", "version": _FORMAT_VERSION,
+                          **dict(meta)})
+
+    def append(self, evaluation: Evaluation,
+               rng_state: dict | None = None) -> None:
+        """Durably record one finished evaluation."""
+        self._write_line({
+            "kind": "eval",
+            "vector": [float(v) for v in np.asarray(evaluation.vector)],
+            "config": dict(evaluation.config),
+            "objective": float(evaluation.objective),
+            "cost_s": float(evaluation.cost_s),
+            "status": evaluation.status.value,
+            "truncated": bool(evaluation.truncated),
+            "transient": bool(evaluation.transient),
+            "fault": evaluation.fault,
+            "attempts": int(evaluation.attempts),
+            "rng_state": rng_state,
+        })
+
+    def _write_line(self, payload: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(payload, default=_jsonable) + "\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- reading ------------------------------------------------------------------
+    def load(self) -> tuple[dict, list[EvalRecord]]:
+        """(meta, records); parsing stops at the first corrupt line."""
+        if not self.path.exists():
+            raise FileNotFoundError(f"no journal at {self.path}")
+        meta: dict = {}
+        records: list[EvalRecord] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn write from a crash: resume from here
+                if payload.get("kind") == "meta":
+                    meta = {k: v for k, v in payload.items()
+                            if k not in ("kind", "version")}
+                elif payload.get("kind") == "eval":
+                    records.append(EvalRecord(
+                        vector=payload["vector"],
+                        config=payload["config"],
+                        objective=payload["objective"],
+                        cost_s=payload["cost_s"],
+                        status=payload["status"],
+                        truncated=payload.get("truncated", False),
+                        transient=payload.get("transient", False),
+                        fault=payload.get("fault"),
+                        attempts=payload.get("attempts", 1),
+                        rng_state=payload.get("rng_state"),
+                    ))
+        return meta, records
+
+    def __len__(self) -> int:
+        """Number of intact evaluation records on disk."""
+        if not self.path.exists():
+            return 0
+        return len(self.load()[1])
+
+
+class JournaledObjective:
+    """Objective wrapper that records to — or replays from — a journal.
+
+    In **recording** mode (``replay=None``) every live evaluation is
+    appended to the journal together with the objective's RNG snapshot;
+    decisions are untouched.
+
+    In **replay** mode the queued records are served in order *without*
+    executing anything (the fault injector's evaluation index is advanced
+    via its ``skip`` hook so fault coordinates stay aligned); when the
+    queue drains, the objective's RNG state is restored from the last
+    record and evaluation switches to live recording.  A vector mismatch
+    between a replayed record and what the tuner asked to evaluate means
+    the journal belongs to a different session (seed or configuration
+    drift) and raises immediately rather than returning wrong data.
+    """
+
+    def __init__(self, objective, journal: EvaluationJournal, *,
+                 replay: list[EvalRecord] | None = None):
+        self._objective = objective
+        self._journal = journal
+        self._shared = {"queue": deque(replay or ()),
+                        "restored": not replay,
+                        "last_state": None,
+                        "replayed": 0}
+
+    # -- Objective protocol -------------------------------------------------------
+    @property
+    def space(self):
+        return self._objective.space
+
+    @property
+    def time_limit_s(self) -> float:
+        return self._objective.time_limit_s
+
+    def with_space(self, space) -> "JournaledObjective":
+        clone = object.__new__(JournaledObjective)
+        clone.__dict__ = dict(self.__dict__)
+        clone._objective = self._objective.with_space(space)
+        return clone
+
+    def __getattr__(self, name: str):
+        return getattr(self.__dict__["_objective"], name)
+
+    @property
+    def n_replayed(self) -> int:
+        """Evaluations served from the journal instead of executed."""
+        return self._shared["replayed"]
+
+    # -- evaluation ---------------------------------------------------------------
+    def __call__(self, u: np.ndarray,
+                 time_limit_s: float | None = None) -> Evaluation:
+        queue = self._shared["queue"]
+        if queue:
+            rec = queue.popleft()
+            self._shared["replayed"] += 1
+            if rec.rng_state is not None:
+                self._shared["last_state"] = rec.rng_state
+            ev = rec.to_evaluation()
+            u_arr = np.asarray(u, dtype=float)
+            if ev.vector.shape != u_arr.shape \
+                    or not np.array_equal(ev.vector, u_arr):
+                raise ValueError(
+                    "journal replay mismatch: the tuner requested a "
+                    "different configuration than the journal recorded "
+                    "(wrong seed, tuner settings, or journal file?)")
+            skip = getattr(self._objective, "skip", None)
+            if skip is not None:
+                skip(1)
+            return ev
+        if not self._shared["restored"]:
+            self._shared["restored"] = True
+            state = self._shared["last_state"]
+            set_state = getattr(self._objective, "set_rng_state", None)
+            if state is not None and set_state is not None:
+                set_state(state)
+        ev = self._objective(u, time_limit_s)
+        get_state = getattr(self._objective, "rng_state", None)
+        self._journal.append(ev, get_state() if get_state else None)
+        return ev

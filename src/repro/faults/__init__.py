@@ -1,0 +1,13 @@
+"""Resilience layer: deterministic fault injection and retry policies.
+
+See docs/ROBUSTNESS.md for the fault taxonomy, retry semantics and how
+this composes with the crash-safe evaluation journal
+(:mod:`repro.core.journal`).
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["FaultPlan", "FaultEvent", "FaultInjector", "RetryPolicy",
+           "FAULT_KINDS"]

@@ -1,0 +1,196 @@
+"""Transient-fault injection around a workload objective.
+
+:class:`FaultInjector` is a drop-in :class:`~repro.tuners.base.Objective`:
+it executes every configuration through the wrapped objective and then
+applies the :class:`~repro.faults.plan.FaultPlan`'s verdict for that
+``(evaluation index, attempt)`` coordinate — an abort, a slowdown, or
+nothing.  Because the wrapped objective is *always* executed first, the
+simulator's noise stream advances identically whether or not a fault
+fires, so fault-rate sweeps compare the same underlying runs.
+
+Outcome semantics:
+
+* A **config-caused failure** (OOM, runtime error, ...) surfaces as-is —
+  the fault is moot, the model must see the bad region.
+* An **aborting fault** turns the run into a transient failure: a
+  fraction of the natural wall-clock was spent, the result is censored,
+  and ``transient=True`` marks it as environmental.
+* A **slowdown fault** stretches the run.  If it still finishes under the
+  enforced limit the evaluation succeeds with an inflated time (ordinary
+  environment noise, ``transient=False``); if it crosses the limit it
+  becomes a transient timeout.
+
+With a :class:`~repro.faults.retry.RetryPolicy`, transient outcomes are
+re-attempted (each attempt re-rolls the plan at ``attempt + 1``); all
+failed attempts' wall-clock plus the exponential-backoff waits are charged
+to the returned evaluation's ``cost_s``.  Config-caused outcomes are never
+retried, so only genuinely bad configurations are censored into the
+surrogate model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..sparksim.result import RunStatus
+from ..tuners.base import Evaluation
+from .plan import FaultEvent, FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Wrap an objective with deterministic fault injection and retries.
+
+    Parameters
+    ----------
+    objective:
+        The wrapped objective (typically a
+        :class:`~repro.tuners.objective.WorkloadObjective`).
+    plan:
+        Seeded fault plan; ``(index, attempt)`` draws are pure.
+    retry:
+        Retry policy for transient outcomes; ``None`` returns the first
+        attempt unconditionally.
+    """
+
+    def __init__(self, objective, plan: FaultPlan,
+                 retry: RetryPolicy | None = None):
+        self._objective = objective
+        self.plan = plan
+        self.retry = retry
+        # Shared across with_space views so the evaluation index (the
+        # fault plan's coordinate) is global to the tuning session.
+        self._shared = {"index": 0, "injected": 0, "transient": 0,
+                        "retries": 0, "backoff_s": 0.0}
+
+    # -- Objective protocol -------------------------------------------------------
+    @property
+    def space(self):
+        return self._objective.space
+
+    @property
+    def time_limit_s(self) -> float:
+        return self._objective.time_limit_s
+
+    def with_space(self, space) -> "FaultInjector":
+        """Re-bound view sharing the plan, retry policy and fault index."""
+        clone = object.__new__(FaultInjector)
+        clone.__dict__ = dict(self.__dict__)
+        clone._objective = self._objective.with_space(space)
+        return clone
+
+    def __getattr__(self, name: str):
+        # Delegate everything else (workload, simulator, n_evaluations,
+        # rng_state/set_rng_state, ...) to the wrapped objective.
+        return getattr(self.__dict__["_objective"], name)
+
+    def skip(self, n: int = 1) -> None:
+        """Advance the fault-plan index without executing (journal replay)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._shared["index"] += n
+
+    @property
+    def stats(self) -> dict:
+        """Injection counters: injected, transient, retries, backoff_s."""
+        return dict(self._shared)
+
+    # -- evaluation ---------------------------------------------------------------
+    def __call__(self, u: np.ndarray,
+                 time_limit_s: float | None = None) -> Evaluation:
+        index = self._shared["index"]
+        self._shared["index"] = index + 1
+        max_attempts = 1 + (self.retry.max_retries if self.retry else 0)
+        spent = 0.0
+        for attempt in range(max_attempts):
+            ev = self._attempt(u, time_limit_s, index, attempt)
+            if ev.transient and attempt + 1 < max_attempts:
+                wait = self.retry.delay_s(attempt)
+                spent += ev.cost_s + wait
+                self._shared["retries"] += 1
+                self._shared["backoff_s"] += wait
+                continue
+            break
+        if ev.transient:
+            self._shared["transient"] += 1
+        if spent > 0.0 or attempt > 0:
+            ev = replace(ev, cost_s=ev.cost_s + spent, attempts=attempt + 1)
+        return ev
+
+    def _attempt(self, u: np.ndarray, time_limit_s: float | None,
+                 index: int, attempt: int) -> Evaluation:
+        event = self.plan.draw(index, attempt)
+        ev = self._objective(u, time_limit_s)
+        if event is None:
+            return ev
+        self._shared["injected"] += 1
+        if not ev.ok:
+            # Config-caused failure dominates: the fault changes nothing
+            # the tuner should learn from.
+            return ev
+        if event.aborts:
+            return self._aborted(ev, event)
+        return self._slowed(ev, event, time_limit_s)
+
+    def _aborted(self, ev: Evaluation, event: FaultEvent) -> Evaluation:
+        """Transient abort after a fraction of the natural run time."""
+        return replace(
+            ev,
+            objective=self._censor(ev.config, None),
+            cost_s=float(ev.cost_s * event.abort_fraction),
+            status=RunStatus.RUNTIME_ERROR,
+            truncated=False,
+            transient=True,
+            fault=event.kind,
+        )
+
+    def _slowed(self, ev: Evaluation, event: FaultEvent,
+                time_limit_s: float | None) -> Evaluation:
+        limit = self.time_limit_s
+        if time_limit_s is not None:
+            limit = min(limit, float(time_limit_s))
+        slowed_s = ev.cost_s * event.slowdown
+        if slowed_s > limit:
+            # The stretched run crosses the enforced cap: killed, but by
+            # the environment — a transient timeout, censored at the
+            # limit that actually stopped it.
+            return replace(
+                ev,
+                objective=self._censor(ev.config, limit),
+                cost_s=float(limit),
+                status=RunStatus.TIMEOUT,
+                truncated=True,
+                transient=True,
+                fault=event.kind,
+            )
+        return replace(
+            ev,
+            objective=self._metric(ev, slowed_s),
+            cost_s=float(slowed_s),
+            transient=False,
+            fault=event.kind,
+        )
+
+    # -- metric plumbing ----------------------------------------------------------
+    def _metric(self, ev: Evaluation, duration_s: float) -> float:
+        """Objective value at a stretched duration.
+
+        Uses the wrapped objective's metric when exposed; otherwise scales
+        the observed value proportionally (exact for metrics linear in
+        duration, which both built-in metrics are).
+        """
+        metric = getattr(self._objective, "metric_value", None)
+        if metric is not None:
+            return float(metric(duration_s, ev.config))
+        return float(ev.objective * duration_s / max(ev.cost_s, 1e-12))
+
+    def _censor(self, config, limit_s: float | None) -> float:
+        """Censoring value at *limit_s* (None = the objective's full cap)."""
+        censor = getattr(self._objective, "censor_value", None)
+        if censor is not None:
+            return float(censor(config, limit_s))
+        return float(limit_s if limit_s is not None else self.time_limit_s)

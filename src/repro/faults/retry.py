@@ -1,0 +1,49 @@
+"""Retry policy for transient evaluation failures (docs/ROBUSTNESS.md).
+
+Only *transient* outcomes are retried — a configuration-caused failure
+(OOM, Kryo overflow, guard kill on a genuinely slow run) is information
+the surrogate model must see, and retrying it would only re-pay cluster
+time for the same answer.  Every failed attempt's wall-clock and every
+backoff wait is charged to search cost: a real cluster would have spent
+that time too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient failures.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional attempts after the first (0 disables retrying).
+    backoff_s:
+        Wait before the first retry.
+    backoff_factor:
+        Multiplier applied per subsequent retry
+        (wait for retry *k* = ``backoff_s * backoff_factor**k``).
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 5.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay_s(self, retry: int) -> float:
+        """Backoff wait before 0-based retry number *retry*."""
+        if retry < 0:
+            raise ValueError("retry must be >= 0")
+        return float(self.backoff_s * self.backoff_factor ** retry)

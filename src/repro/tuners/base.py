@@ -33,10 +33,20 @@ class Evaluation:
     """One executed configuration.
 
     ``objective`` is the value a tuner should minimize: the execution time
-    for successful runs and the evaluation cap for failed/killed runs
-    (censored — "at least this bad").  ``cost_s`` is the wall-clock charged
+    for successful runs and the censoring value for failed/killed runs
+    ("at least this bad" — see :class:`~repro.tuners.objective.WorkloadObjective`
+    for the exact censoring policy).  ``cost_s`` is the wall-clock charged
     to search cost, which for failures is the (smaller) time actually
-    elapsed before the run died.
+    elapsed before the run died; under a retry policy it includes every
+    failed attempt plus the backoff waits.
+
+    The resilience fields separate *environmental* trouble from
+    *configuration-caused* trouble: ``transient`` marks an outcome whose
+    failure (or timeout) was caused by an injected/environmental fault
+    rather than by the configuration; ``fault`` names the fault kind that
+    affected the returned attempt (a fault may slow a run down without
+    failing it, in which case ``transient`` stays False); ``attempts``
+    counts executions including retries.
     """
 
     vector: np.ndarray
@@ -45,6 +55,9 @@ class Evaluation:
     cost_s: float
     status: RunStatus
     truncated: bool = False
+    transient: bool = False
+    fault: str | None = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -141,3 +154,51 @@ class Tuner(ABC):
     def tune(self, objective: Objective, budget: int,
              rng: np.random.Generator | int | None = None) -> TuningResult:
         """Run one tuning session of at most *budget* evaluations."""
+
+    # -- crash-safe journaling (docs/ROBUSTNESS.md) -------------------------------
+    def checkpoint(self, objective: Objective, budget: int, journal,
+                   rng: np.random.Generator | int | None = None
+                   ) -> TuningResult:
+        """:meth:`tune`, with every evaluation journaled as it completes.
+
+        *journal* is an :class:`~repro.core.journal.EvaluationJournal` or a
+        path to one.  Each finished evaluation is appended (fsync'd) along
+        with a snapshot of the objective's RNG state, so a process killed
+        mid-search can :meth:`resume` bit-identically.  Decisions are
+        unaffected — the wrapper only records.
+        """
+        from ..core.journal import EvaluationJournal, JournaledObjective
+        if not isinstance(journal, EvaluationJournal):
+            journal = EvaluationJournal(journal)
+        journal.write_meta({"tuner": self.name,
+                            "workload": workload_key(objective),
+                            "budget": int(budget)})
+        return self.tune(JournaledObjective(objective, journal), budget,
+                         rng=rng)
+
+    def resume(self, objective: Objective, budget: int, journal,
+               rng: np.random.Generator | int | None = None) -> TuningResult:
+        """Resume a killed :meth:`checkpoint` session from its journal.
+
+        Re-runs the tuning session with the same *rng* seed, serving the
+        journaled evaluations in order instead of re-executing them (the
+        expensive cluster time is not re-paid); once the journal is
+        exhausted, the objective's RNG state is restored from the last
+        snapshot and the search continues live, appending to the same
+        journal.  For a fixed seed the final result is bit-identical to an
+        uninterrupted run — see docs/ROBUSTNESS.md for the guarantees.
+        """
+        from ..core.journal import EvaluationJournal, JournaledObjective
+        if not isinstance(journal, EvaluationJournal):
+            journal = EvaluationJournal(journal)
+        meta, records = journal.load()
+        if meta.get("tuner", self.name) != self.name:
+            raise ValueError(
+                f"journal was written by {meta['tuner']!r}, not {self.name!r}")
+        wl = workload_key(objective)
+        if meta.get("workload", wl) != wl:
+            raise ValueError(
+                f"journal belongs to workload {meta['workload']!r}, "
+                f"not {wl!r}")
+        return self.tune(JournaledObjective(objective, journal,
+                                            replay=records), budget, rng=rng)

@@ -5,10 +5,21 @@ tuning space's configuration encoder, runs the workload on the simulated
 cluster with the evaluation cap (the paper limits each configuration to
 480 s), and returns an :class:`Evaluation`.
 
-Censoring policy: a failed or killed run's *objective* is the evaluation
-cap (the tuner only knows the configuration was "at least this bad"),
+Censoring policy: a failed or killed run's *objective* is the censoring
+value (the tuner only knows the configuration was "at least this bad"),
 while its *cost* is the time that actually elapsed — failures often die
-quickly, truncated stragglers pay the cap.
+quickly, truncated stragglers pay their limit.  The censoring value
+depends on how the run ended:
+
+* **Killed at a limit** (``truncated=True``): censored at the limit the
+  guard actually enforced — the *tightened* per-call limit when a median
+  guard killed the run, not the full cap.  The run is only known to be
+  "at least as bad as the limit that stopped it"; censoring a run killed
+  at 90 s with the 480 s cap would overstate the evidence 5-fold and
+  poison the surrogate's view of that region.
+* **Hard failure** (OOM, runtime error, invalid): censored at the full
+  evaluation cap — the configuration is broken, not merely slow, and the
+  model should treat the whole region as maximally bad.
 """
 
 from __future__ import annotations
@@ -123,6 +134,26 @@ class WorkloadObjective:
         clone._space = space
         return clone
 
+    # -- resilience hooks (repro.faults / repro.core.journal) ---------------------
+    def metric_value(self, duration_s: float, conf: Mapping[str, Any]) -> float:
+        """The objective metric at an arbitrary duration (fault injection
+        uses this to price slowed-down runs exactly)."""
+        return float(self._metric(float(duration_s), conf))
+
+    def censor_value(self, conf: Mapping[str, Any],
+                     limit_s: float | None = None) -> float:
+        """Censoring value at *limit_s* (None = the full evaluation cap)."""
+        limit = self._time_limit_s if limit_s is None else float(limit_s)
+        return float(self._metric(limit, conf))
+
+    def rng_state(self) -> dict:
+        """Snapshot of the noise generator (journal checkpointing)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`rng_state` (journal resume)."""
+        self._rng.bit_generator.state = state
+
     def __call__(self, u: np.ndarray,
                  time_limit_s: float | None = None) -> Evaluation:
         """Evaluate one configuration vector.
@@ -141,10 +172,15 @@ class WorkloadObjective:
         truncated = result.status is RunStatus.TIMEOUT
         if result.ok:
             objective = self._metric(result.duration_s, conf)
+        elif truncated:
+            # Killed at the enforced limit (possibly guard-tightened): the
+            # run is only known to be at least as bad as the limit that
+            # actually stopped it.
+            objective = self._metric(limit, conf)
         else:
-            # Censored: the tuner's model sees the metric at the full cap,
-            # so the region is marked bad regardless of how fast the
-            # failure surfaced.
+            # Hard failure: censored at the full cap, so the region is
+            # marked maximally bad regardless of how fast the failure
+            # surfaced.
             objective = self._metric(self._time_limit_s, conf)
         return Evaluation(
             vector=np.asarray(u, dtype=float).copy(),

@@ -44,6 +44,38 @@ class TestThreshold:
         assert guard.threshold_s() == pytest.approx(200.0)
 
 
+class TestActivationBoundary:
+    """The median rule switches on at exactly min_observations successes."""
+
+    def test_one_below_threshold_still_static(self):
+        guard = MedianGuard(3.0, static_limit_s=480.0, min_observations=4)
+        for t in (10.0, 10.0, 10.0):
+            guard.observe(t, ok=True)
+        assert guard.threshold_s() == 480.0
+
+    def test_exactly_at_threshold_activates(self):
+        guard = MedianGuard(3.0, static_limit_s=480.0, min_observations=4)
+        for t in (10.0, 10.0, 10.0, 10.0):
+            guard.observe(t, ok=True)
+        assert guard.threshold_s() == pytest.approx(30.0)
+
+    def test_failures_do_not_count_toward_activation(self):
+        guard = MedianGuard(3.0, static_limit_s=480.0, min_observations=2)
+        guard.observe(10.0, ok=True)
+        for _ in range(5):
+            guard.observe(480.0, ok=False)
+        # One success: still below min_observations, static limit holds.
+        assert guard.threshold_s() == 480.0
+        guard.observe(10.0, ok=True)
+        assert guard.threshold_s() == pytest.approx(30.0)
+
+    def test_median_rule_clamped_from_activation_onwards(self):
+        guard = MedianGuard(10.0, static_limit_s=50.0, min_observations=1)
+        guard.observe(10.0, ok=True)
+        # 10x median = 100 s would exceed the cap: clamped immediately.
+        assert guard.threshold_s() == 50.0
+
+
 class TestValidation:
     def test_multiplier_must_exceed_one(self):
         with pytest.raises(ValueError):

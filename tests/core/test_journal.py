@@ -1,0 +1,212 @@
+"""Tests for the crash-safe evaluation journal and its objective wrapper."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.journal import EvalRecord, EvaluationJournal, JournaledObjective
+from repro.sparksim import RunStatus
+from repro.tuners.base import Evaluation
+
+
+def make_eval(x=0.25, objective=42.0, **kw):
+    defaults = dict(
+        vector=np.array([x, 1.0 - x]),
+        config={"spark.executor.cores": 8},
+        objective=objective,
+        cost_s=objective,
+        status=RunStatus.SUCCESS,
+    )
+    defaults.update(kw)
+    return Evaluation(**defaults)
+
+
+class RecordingObjective:
+    """Fake objective that logs rng-state and skip interactions."""
+
+    def __init__(self):
+        self.state = {"counter": 0}
+        self.restored_states = []
+        self.skipped = 0
+        self.calls = 0
+
+    @property
+    def space(self):
+        return None
+
+    @property
+    def time_limit_s(self):
+        return 480.0
+
+    def rng_state(self):
+        return dict(self.state)
+
+    def set_rng_state(self, state):
+        self.restored_states.append(state)
+        self.state = dict(state)
+
+    def skip(self, n=1):
+        self.skipped += n
+
+    def __call__(self, u, time_limit_s=None):
+        # The outcome depends on the "noise state", exactly like the real
+        # objective's simulator noise — so a resume is only bit-identical
+        # if the state snapshot was restored correctly.
+        self.calls += 1
+        self.state["counter"] += 1
+        return make_eval(vector=np.asarray(u, dtype=float).copy(),
+                         objective=10.0 * self.state["counter"])
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        journal.write_meta({"tuner": "ROBOTune", "workload": "pagerank/D1"})
+        evs = [make_eval(x=0.1), make_eval(x=0.9, objective=7.0,
+                                           status=RunStatus.TIMEOUT,
+                                           truncated=True, transient=True,
+                                           fault="straggler_node",
+                                           attempts=3)]
+        for i, ev in enumerate(evs):
+            journal.append(ev, {"step": i})
+        journal.close()
+
+        meta, records = EvaluationJournal(tmp_path / "run.jsonl").load()
+        assert meta == {"tuner": "ROBOTune", "workload": "pagerank/D1"}
+        assert len(records) == 2
+        for rec, ev in zip(records, evs):
+            back = rec.to_evaluation()
+            assert np.array_equal(back.vector, ev.vector)
+            assert back.config == ev.config
+            assert back.objective == ev.objective
+            assert back.cost_s == ev.cost_s
+            assert back.status is ev.status
+            assert back.truncated == ev.truncated
+            assert back.transient == ev.transient
+            assert back.fault == ev.fault
+            assert back.attempts == ev.attempts
+        assert records[1].rng_state == {"step": 1}
+
+    def test_numpy_values_serialized(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        ev = make_eval(config={"cores": np.int64(8), "frac": np.float64(0.5)})
+        journal.append(ev, {"key": np.array([1, 2])})
+        journal.close()
+        _, records = journal.load()
+        assert records[0].config == {"cores": 8, "frac": 0.5}
+        assert records[0].rng_state == {"key": [1, 2]}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = EvaluationJournal(path, fsync=False)
+        journal.write_meta({"tuner": "RandomSearch"})
+        journal.append(make_eval())
+        journal.append(make_eval())
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "eval", "vector": [0.3')   # crash mid-write
+        meta, records = EvaluationJournal(path).load()
+        assert meta["tuner"] == "RandomSearch"
+        assert len(records) == 2
+        assert len(EvaluationJournal(path)) == 2
+
+    def test_write_meta_refuses_existing_session(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = EvaluationJournal(path, fsync=False)
+        journal.write_meta({"tuner": "ROBOTune"})
+        journal.close()
+        with pytest.raises(FileExistsError, match="already holds a session"):
+            EvaluationJournal(path).write_meta({"tuner": "ROBOTune"})
+
+    def test_missing_journal(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "absent.jsonl")
+        assert len(journal) == 0
+        with pytest.raises(FileNotFoundError):
+            journal.load()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        journal = EvaluationJournal(path, fsync=False)
+        journal.append(make_eval())
+        journal.close()
+        assert path.exists()
+
+
+class TestJournaledObjective:
+    def test_recording_appends_with_rng_snapshot(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        inner = RecordingObjective()
+        wrapped = JournaledObjective(inner, journal)
+        wrapped(np.array([0.2, 0.8]))
+        wrapped(np.array([0.4, 0.6]))
+        journal.close()
+        _, records = journal.load()
+        assert len(records) == 2
+        # The snapshot is taken *after* the evaluation consumed its noise.
+        assert records[0].rng_state == {"counter": 1}
+        assert records[1].rng_state == {"counter": 2}
+        assert wrapped.n_replayed == 0
+
+    def test_replay_serves_without_executing(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        inner = RecordingObjective()
+        wrapped = JournaledObjective(inner, journal)
+        u = [np.array([0.2, 0.8]), np.array([0.4, 0.6])]
+        originals = [wrapped(v) for v in u]
+        journal.close()
+
+        _, records = journal.load()
+        fresh = RecordingObjective()
+        resumed = JournaledObjective(fresh, journal, replay=records)
+        served = [resumed(v) for v in u]
+        assert fresh.calls == 0                 # nothing re-executed
+        assert fresh.skipped == 2               # fault index kept aligned
+        assert resumed.n_replayed == 2
+        for orig, again in zip(originals, served):
+            assert np.array_equal(orig.vector, again.vector)
+            assert orig.objective == again.objective
+
+    def test_rng_restored_when_replay_drains(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        inner = RecordingObjective()
+        wrapped = JournaledObjective(inner, journal)
+        straight = [wrapped(np.array([0.1 * i, 0.5])) for i in range(3)]
+
+        _, records = journal.load()
+        fresh = RecordingObjective()
+        resumed = JournaledObjective(fresh, journal, replay=records[:2])
+        resumed(np.array([0.0, 0.5]))
+        resumed(np.array([0.1, 0.5]))
+        live = resumed(np.array([0.2, 0.5]))
+        # State restored from the second snapshot before the live call.
+        assert fresh.restored_states == [{"counter": 2}]
+        assert live.objective == straight[2].objective
+        assert fresh.calls == 1
+
+    def test_vector_mismatch_raises(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        wrapped = JournaledObjective(RecordingObjective(), journal)
+        wrapped(np.array([0.2, 0.8]))
+        _, records = journal.load()
+        resumed = JournaledObjective(RecordingObjective(), journal,
+                                     replay=records)
+        with pytest.raises(ValueError, match="journal replay mismatch"):
+            resumed(np.array([0.3, 0.7]))
+
+    def test_inner_without_hooks_is_fine(self, tmp_path):
+        class Bare:
+            space = None
+            time_limit_s = 480.0
+
+            def __call__(self, u, time_limit_s=None):
+                return make_eval(x=float(np.asarray(u)[0]))
+
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        wrapped = JournaledObjective(Bare(), journal)
+        wrapped(np.array([0.2, 0.8]))
+        _, records = journal.load()
+        assert records[0].rng_state is None
+        resumed = JournaledObjective(Bare(), journal, replay=records)
+        ev = resumed(np.array([0.2, 0.8]))     # no skip/set_rng_state hooks
+        assert ev.objective == 42.0

@@ -1,0 +1,220 @@
+"""Tests for the fault injector's outcome semantics and retry accounting."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.sparksim import RunStatus
+from repro.tuners.base import Evaluation
+
+DURATION = 100.0
+LIMIT = 480.0
+
+
+class StubObjective:
+    """Deterministic objective: every run takes DURATION seconds.
+
+    Deliberately omits the ``metric_value`` / ``censor_value`` hooks so
+    the injector's proportional-scaling and limit fallbacks are the paths
+    under test (the exact hooks are covered in test_objective.py).
+    """
+
+    def __init__(self, status=RunStatus.SUCCESS, duration_s=DURATION,
+                 time_limit_s=LIMIT):
+        self._status = status
+        self._duration = duration_s
+        self._limit = time_limit_s
+        self._shared = {"calls": 0}
+
+    @property
+    def space(self):
+        return None
+
+    @property
+    def time_limit_s(self):
+        return self._limit
+
+    def with_space(self, space):
+        clone = object.__new__(StubObjective)
+        clone.__dict__ = dict(self.__dict__)
+        return clone
+
+    @property
+    def calls(self):
+        return self._shared["calls"]
+
+    def __call__(self, u, time_limit_s=None):
+        self._shared["calls"] += 1
+        ok = self._status is RunStatus.SUCCESS
+        return Evaluation(
+            vector=np.asarray(u, dtype=float),
+            config={"p": 1},
+            objective=self._duration if ok else self._limit,
+            cost_s=self._duration if ok else 10.0,
+            status=self._status,
+        )
+
+
+U = np.array([0.5])
+
+
+def first_index(plan, pred, attempts=(0,)):
+    """Smallest evaluation index whose draws satisfy *pred* per attempt."""
+    for i in range(2000):
+        if all(pred(plan.draw(i, a), a) for a in attempts):
+            return i
+    raise AssertionError("no index found in 2000 draws")
+
+
+class TestPassThrough:
+    def test_rate_zero_is_identity(self):
+        stub = StubObjective()
+        inj = FaultInjector(stub, FaultPlan(0.0), retry=RetryPolicy())
+        ev = inj(U)
+        assert ev.ok and ev.objective == DURATION and ev.cost_s == DURATION
+        assert not ev.transient and ev.fault is None and ev.attempts == 1
+        assert inj.stats == {"index": 1, "injected": 0, "transient": 0,
+                             "retries": 0, "backoff_s": 0.0}
+
+    def test_config_caused_failure_dominates_fault(self):
+        # Even with a guaranteed fault, a run the configuration itself
+        # kills is surfaced untouched: the model must see the bad region.
+        stub = StubObjective(status=RunStatus.OOM)
+        inj = FaultInjector(stub, FaultPlan(1.0, seed=1))
+        ev = inj(U)
+        assert ev.status is RunStatus.OOM
+        assert not ev.transient and ev.fault is None
+        assert ev.objective == LIMIT and ev.cost_s == 10.0
+        assert inj.stats["transient"] == 0
+
+    def test_delegates_objective_attributes(self):
+        stub = StubObjective()
+        inj = FaultInjector(stub, FaultPlan(0.0))
+        assert inj.time_limit_s == LIMIT
+        assert inj.calls == 0      # __getattr__ delegation
+
+
+class TestAbort:
+    def test_aborting_fault_is_transient_censored(self):
+        plan = FaultPlan(1.0, seed=2, kinds=(("spurious_failure", 1.0),))
+        inj = FaultInjector(StubObjective(), plan)   # no retry
+        event = plan.draw(0)
+        ev = inj(U)
+        assert ev.status is RunStatus.RUNTIME_ERROR
+        assert ev.transient and ev.fault == "spurious_failure"
+        assert not ev.truncated
+        # Only the elapsed fraction of the natural run is charged; the
+        # objective is censored at the full cap (limit fallback).
+        assert ev.cost_s == pytest.approx(DURATION * event.abort_fraction)
+        assert ev.objective == LIMIT
+        assert inj.stats["transient"] == 1
+
+
+class TestSlowdown:
+    def test_surviving_slowdown_is_plain_noise(self):
+        plan = FaultPlan(1.0, seed=2, kinds=(("straggler_node", 1.0),))
+        inj = FaultInjector(StubObjective(), plan)
+        event = plan.draw(0)
+        ev = inj(U)
+        assert ev.ok and not ev.transient
+        assert ev.fault == "straggler_node"
+        assert ev.cost_s == pytest.approx(DURATION * event.slowdown)
+        # Proportional fallback: objective scales with the stretch.
+        assert ev.objective == pytest.approx(DURATION * event.slowdown)
+
+    def test_slowdown_past_cap_becomes_transient_timeout(self):
+        plan = FaultPlan(1.0, seed=2, kinds=(("straggler_node", 1.0),))
+        # Slowdowns are >= 1.5x, so a 400 s run always crosses the cap.
+        inj = FaultInjector(StubObjective(duration_s=400.0), plan)
+        ev = inj(U)
+        assert ev.status is RunStatus.TIMEOUT
+        assert ev.transient and ev.truncated
+        assert ev.cost_s == LIMIT and ev.objective == LIMIT
+
+    def test_slowdown_respects_tightened_per_call_limit(self):
+        plan = FaultPlan(1.0, seed=2, kinds=(("straggler_node", 1.0),))
+        inj = FaultInjector(StubObjective(), plan)
+        ev = inj(U, time_limit_s=120.0)    # guard-tightened below 1.5x100
+        assert ev.status is RunStatus.TIMEOUT and ev.transient
+        assert ev.cost_s == 120.0 and ev.objective == 120.0
+
+
+class TestRetry:
+    def test_transient_retried_to_success(self):
+        plan = FaultPlan(0.6, seed=7, kinds=(("spurious_failure", 1.0),))
+        idx = first_index(
+            plan,
+            lambda e, a: (e is not None and e.aborts) if a == 0 else e is None,
+            attempts=(0, 1))
+        stub = StubObjective()
+        inj = FaultInjector(stub, plan,
+                            retry=RetryPolicy(max_retries=2, backoff_s=5.0))
+        inj.skip(idx)
+        ev = inj(U)
+        assert ev.ok and not ev.transient and ev.attempts == 2
+        assert stub.calls == 2
+        # Final cost = clean run + failed attempt's elapsed time + backoff.
+        aborted = plan.draw(idx, 0).abort_fraction * DURATION
+        assert ev.cost_s == pytest.approx(DURATION + aborted + 5.0)
+        assert inj.stats["retries"] == 1
+        assert inj.stats["backoff_s"] == 5.0
+        assert inj.stats["transient"] == 0   # retried away, not surfaced
+
+    def test_retries_exhausted_surfaces_transient(self):
+        plan = FaultPlan(1.0, seed=7, kinds=(("spurious_failure", 1.0),))
+        stub = StubObjective()
+        inj = FaultInjector(stub, plan,
+                            retry=RetryPolicy(max_retries=1, backoff_s=5.0))
+        ev = inj(U)
+        assert ev.transient and ev.attempts == 2
+        assert ev.status is RunStatus.RUNTIME_ERROR
+        assert stub.calls == 2
+        spent0 = plan.draw(0, 0).abort_fraction * DURATION
+        final = plan.draw(0, 1).abort_fraction * DURATION
+        assert ev.cost_s == pytest.approx(final + spent0 + 5.0)
+        assert inj.stats["transient"] == 1 and inj.stats["retries"] == 1
+
+    def test_no_policy_means_single_attempt(self):
+        plan = FaultPlan(1.0, seed=7, kinds=(("spurious_failure", 1.0),))
+        stub = StubObjective()
+        ev = FaultInjector(stub, plan)(U)
+        assert ev.transient and ev.attempts == 1 and stub.calls == 1
+
+    def test_backoff_escalates_across_retries(self):
+        plan = FaultPlan(1.0, seed=7, kinds=(("spurious_failure", 1.0),))
+        inj = FaultInjector(StubObjective(), plan,
+                            retry=RetryPolicy(max_retries=2, backoff_s=5.0,
+                                              backoff_factor=2.0))
+        inj(U)
+        assert inj.stats["backoff_s"] == pytest.approx(5.0 + 10.0)
+
+
+class TestSessionState:
+    def test_skip_advances_fault_index(self):
+        inj = FaultInjector(StubObjective(), FaultPlan(0.0))
+        inj.skip(5)
+        inj(U)
+        assert inj.stats["index"] == 6
+        with pytest.raises(ValueError):
+            inj.skip(-1)
+
+    def test_with_space_shares_index(self):
+        inj = FaultInjector(StubObjective(), FaultPlan(0.0))
+        view = inj.with_space(None)
+        view(U)
+        inj(U)
+        assert inj.stats["index"] == 2 == view.stats["index"]
+
+    def test_identical_stacks_are_deterministic(self):
+        def run():
+            inj = FaultInjector(StubObjective(), FaultPlan(0.5, seed=11),
+                                retry=RetryPolicy(max_retries=1))
+            return [inj(U) for _ in range(20)], inj.stats
+
+        evs_a, stats_a = run()
+        evs_b, stats_b = run()
+        assert stats_a == stats_b
+        for a, b in zip(evs_a, evs_b):
+            assert (a.objective, a.cost_s, a.status, a.transient, a.fault,
+                    a.attempts) == (b.objective, b.cost_s, b.status,
+                                    b.transient, b.fault, b.attempts)

@@ -1,0 +1,132 @@
+"""Tests for the deterministic fault plan and retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, RetryPolicy
+from repro.faults.plan import _ABORT_FRACTION_RANGE, _SLOWDOWN_RANGES
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_rate_out_of_range(self, rate):
+        with pytest.raises(ValueError):
+            FaultPlan(rate)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultPlan(0.5, kinds=(("cosmic_ray", 1.0),))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0.5, kinds=())
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0.5, kinds=(("executor_loss", 0.0),))
+
+    def test_negative_coordinates_rejected(self):
+        plan = FaultPlan(0.5)
+        with pytest.raises(ValueError):
+            plan.draw(-1)
+        with pytest.raises(ValueError):
+            plan.draw(0, attempt=-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = FaultPlan(0.7, seed=42)
+        b = FaultPlan(0.7, seed=42)
+        for i in range(50):
+            for attempt in range(3):
+                assert a.draw(i, attempt) == b.draw(i, attempt)
+
+    def test_draw_is_pure(self):
+        plan = FaultPlan(0.7, seed=42)
+        first = [plan.draw(i) for i in range(20)]
+        # Re-drawing in any order yields the same events: no hidden state.
+        again = [plan.draw(i) for i in reversed(range(20))]
+        assert first == list(reversed(again))
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(0.7, seed=1)
+        b = FaultPlan(0.7, seed=2)
+        assert any(a.draw(i) != b.draw(i) for i in range(50))
+
+    def test_retry_rerolls_independently(self):
+        plan = FaultPlan(1.0, seed=0)
+        assert any(plan.draw(i, 0) != plan.draw(i, 1) for i in range(50))
+
+
+class TestRates:
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(0.0, seed=3)
+        assert all(plan.draw(i) is None for i in range(200))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(1.0, seed=3)
+        assert all(plan.draw(i) is not None for i in range(200))
+
+    def test_empirical_rate_matches(self):
+        plan = FaultPlan(0.3, seed=9)
+        hits = sum(plan.draw(i) is not None for i in range(3000))
+        assert 0.25 < hits / 3000 < 0.35
+
+
+class TestTaxonomy:
+    def test_spurious_failure_always_aborts(self):
+        plan = FaultPlan(1.0, seed=5, kinds=(("spurious_failure", 1.0),))
+        lo, hi = _ABORT_FRACTION_RANGE
+        for i in range(100):
+            ev = plan.draw(i)
+            assert ev.kind == "spurious_failure"
+            assert ev.aborts
+            assert ev.slowdown == 1.0
+            assert lo <= ev.abort_fraction <= hi
+
+    @pytest.mark.parametrize("kind", ["straggler_node", "network_degradation"])
+    def test_pure_slowdown_kinds(self, kind):
+        plan = FaultPlan(1.0, seed=5, kinds=((kind, 1.0),))
+        lo, hi = _SLOWDOWN_RANGES[kind]
+        for i in range(100):
+            ev = plan.draw(i)
+            assert ev.kind == kind
+            assert not ev.aborts
+            assert lo <= ev.slowdown <= hi
+
+    def test_executor_loss_has_both_modes(self):
+        plan = FaultPlan(1.0, seed=5, kinds=(("executor_loss", 1.0),))
+        events = [plan.draw(i) for i in range(200)]
+        aborts = [e for e in events if e.aborts]
+        slows = [e for e in events if not e.aborts]
+        assert aborts and slows           # 50/50 coin: both arms occur
+        lo, hi = _SLOWDOWN_RANGES["executor_loss"]
+        assert all(lo <= e.slowdown <= hi for e in slows)
+
+    def test_all_kinds_reachable_at_default_weights(self):
+        plan = FaultPlan(1.0, seed=5)
+        kinds = {plan.draw(i).kind for i in range(500)}
+        assert kinds == {k for k, _ in FAULT_KINDS}
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+
+    @pytest.mark.parametrize("kw", [
+        {"max_retries": -1},
+        {"backoff_s": -1.0},
+        {"backoff_factor": 0.5},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kw)
+
+    def test_exponential_delays(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=5.0, backoff_factor=2.0)
+        assert [policy.delay_s(k) for k in range(3)] == [5.0, 10.0, 20.0]
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(-1)

@@ -101,6 +101,58 @@ class TestImportance:
         assert "MDA importance" in out
 
 
+class TestResilienceFlags:
+    def test_faults_rate_out_of_range_rejected(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--faults", "1.5"])
+        assert code == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--retries", "-1"])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_resume_requires_journal_flag(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--resume"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_resume_requires_existing_journal(self, capsys, tmp_path):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--journal", str(tmp_path / "absent.jsonl"),
+                     "--resume"])
+        assert code == 2
+        assert "existing journal" in capsys.readouterr().err
+
+    def test_fresh_journal_refuses_existing_session(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        journal.write_text('{"kind": "meta"}\n')
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--journal", str(journal)])
+        assert code == 2
+        assert "already holds a session" in capsys.readouterr().err
+
+    def test_tune_with_faults_and_journal(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        code = main(["tune", "--workload", "terasort", "--budget", "10",
+                     "--seed", "5", "--faults", "0.2",
+                     "--journal", str(journal)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:" in out
+        assert "journal:" in out
+        assert journal.exists()
+
+    def test_compare_accepts_fault_flags(self, capsys):
+        code = main(["compare", "--workload", "terasort", "--budget", "8",
+                     "--trials", "1", "--seed", "3", "--faults", "0.1",
+                     "--retries", "1"])
+        assert code == 0
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -61,6 +61,60 @@ class TestEvaluation:
         assert len(times) == 4  # i.i.d. noise per evaluation
 
 
+class TestCensoringPolicy:
+    """Truncated runs censor at the enforced limit; hard failures at the
+    full cap (see the module docstring for why the distinction matters)."""
+
+    def test_guard_killed_run_censored_at_tightened_limit(self, space):
+        obj = make_objective(space, time_limit_s=480.0)
+        ev = obj(space.encode(GOOD), time_limit_s=30.0)
+        assert ev.truncated and ev.status is RunStatus.TIMEOUT
+        # Known only to be "at least 30 s bad" — NOT 480 s bad.
+        assert ev.objective == 30.0
+        assert ev.cost_s == 30.0
+
+    def test_cap_killed_run_censored_at_cap(self, space):
+        obj = make_objective(space, time_limit_s=5.0)
+        ev = obj(space.encode(GOOD))
+        assert ev.truncated
+        assert ev.objective == 5.0
+
+    def test_hard_failure_censored_at_full_cap(self, space):
+        obj = make_objective(space, time_limit_s=480.0)
+        ev = obj(space.encode({}), time_limit_s=30.0)  # PR defaults OOM
+        assert ev.status is RunStatus.OOM and not ev.truncated
+        # Broken, not slow: censored at the full cap even though the
+        # per-call limit was tighter.
+        assert ev.objective == 480.0
+
+    def test_truncated_censoring_respects_metric(self, space):
+        obj = make_objective(space, metric="core_seconds")
+        ev = obj(space.encode(GOOD), time_limit_s=30.0)
+        cores = GOOD["spark.executor.cores"] * GOOD["spark.executor.instances"]
+        assert ev.objective == pytest.approx(30.0 * cores)
+
+
+class TestResilienceHooks:
+    def test_metric_value_matches_metric(self, space):
+        obj = make_objective(space, metric="core_seconds")
+        cores = GOOD["spark.executor.cores"] * GOOD["spark.executor.instances"]
+        assert obj.metric_value(100.0, GOOD) == pytest.approx(100.0 * cores)
+
+    def test_censor_value_default_and_explicit_limit(self, space):
+        obj = make_objective(space, time_limit_s=480.0)
+        assert obj.censor_value(GOOD) == 480.0
+        assert obj.censor_value(GOOD, 90.0) == 90.0
+
+    def test_rng_state_round_trip_reproduces_noise(self, space):
+        obj = make_objective(space, seed=3)
+        u = space.encode(GOOD)
+        state = obj.rng_state()
+        first = obj(u).objective
+        assert obj(u).objective != first     # stream advanced
+        obj.set_rng_state(state)
+        assert obj(u).objective == first     # bit-identical replay
+
+
 class TestWithSpace:
     def test_shares_counter_and_simulator(self, space):
         obj = make_objective(space)
