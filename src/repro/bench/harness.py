@@ -117,6 +117,11 @@ class ComparisonStudy:
         Every session is seeded from its grid coordinates, so results
         and record order are identical for any worker count.  The
         ``"process"`` backend requires a picklable *selector_factory*.
+    batch_size:
+        Points per BO round for ROBOTune sessions (see
+        :class:`~repro.core.tuner.ROBOTune` ``batch_size``); other
+        tuners are unaffected.  The default 1 keeps the paper's serial
+        loop.
     """
 
     def __init__(self, *, budget: int = 100, trials: int = 5,
@@ -131,13 +136,17 @@ class ComparisonStudy:
                  selector_factory: Callable[[np.random.Generator], ParameterSelector] | None = None,
                  n_jobs: int | None = None,
                  parallel_backend: str = "process",
+                 batch_size: int = 1,
                  base_seed: int = 0):
         if not 0.0 <= fault_rate <= 1.0:
             raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.fault_rate = fault_rate
         self.retries = retries
+        self.batch_size = batch_size
         self.budget = budget
         self.trials = trials
         self.workloads = list(workloads or all_workload_names())
@@ -163,7 +172,8 @@ class ComparisonStudy:
                         else ParameterSelector(n_repeats=5, rng=rng))
             return ROBOTune(selector=selector,
                             selection_cache=stores["cache"],
-                            memo_buffer=stores["memo"], rng=rng)
+                            memo_buffer=stores["memo"],
+                            batch_size=self.batch_size, rng=rng)
         if name == "BestConfig":
             return BestConfig()
         if name == "Gunther":

@@ -66,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the best configuration as "
                              "spark-defaults.conf text")
     _jobs(p_tune)
+    _batch(p_tune)
     _resilience(p_tune)
     p_tune.add_argument("--journal", default=None, metavar="FILE",
                         help="crash-safe evaluation journal (JSONL); every "
@@ -79,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common(p_cmp)
     p_cmp.add_argument("--trials", type=int, default=1)
     _jobs(p_cmp)
+    _batch(p_cmp)
     _resilience(p_cmp)
 
     p_imp = sub.add_parser("importance", help="rank parameter importance")
@@ -114,6 +116,14 @@ def _jobs(p: argparse.ArgumentParser) -> None:
                         "identical for any value")
 
 
+def _batch(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--batch", type=int, default=1, metavar="Q",
+                   help="configurations evaluated per BO round (default: 1, "
+                        "the paper's serial loop); Q > 1 proposes "
+                        "constant-liar batches and runs them concurrently "
+                        "under --jobs workers — see docs/PERFORMANCE.md")
+
+
 def _resilience(p: argparse.ArgumentParser) -> None:
     p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
                    help="transient-fault injection rate per evaluation "
@@ -127,6 +137,8 @@ def _resilience(p: argparse.ArgumentParser) -> None:
 
 def _validate_resilience(args) -> str | None:
     """Fail-fast message for bad resilience flags, or None when valid."""
+    if getattr(args, "batch", 1) < 1:
+        return f"--batch must be >= 1, got {args.batch}"
     if hasattr(args, "faults") and not 0.0 <= args.faults <= 1.0:
         return f"--faults rate must be in [0, 1], got {args.faults}"
     if hasattr(args, "retries") and args.retries < 0:
@@ -177,7 +189,7 @@ def cmd_tune(args) -> int:
         memo = ConfigMemoizationBuffer(store / "memo_buffer.json")
     objective = _wrap_faults(objective, args, args.seed)
     tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
-                     n_jobs=args.jobs, rng=args.seed)
+                     n_jobs=args.jobs, batch_size=args.batch, rng=args.seed)
     if args.journal:
         journal = EvaluationJournal(args.journal)
         if args.resume:
@@ -216,7 +228,8 @@ def cmd_tune(args) -> int:
 
 def cmd_compare(args) -> int:
     space = spark_space()
-    tuners = {"ROBOTune": lambda s: ROBOTune(n_jobs=args.jobs, rng=s),
+    tuners = {"ROBOTune": lambda s: ROBOTune(n_jobs=args.jobs,
+                                             batch_size=args.batch, rng=s),
               "BestConfig": lambda s: BestConfig(),
               "Gunther": lambda s: Gunther(),
               "RandomSearch": lambda s: RandomSearch()}

@@ -46,6 +46,19 @@ class AcquisitionFunction(ABC):
         workloads with wildly different magnitudes.
         """
 
+    def gradient(self, mu: float, sigma: float, dmu: np.ndarray,
+                 dsigma: np.ndarray, f_best: float) -> np.ndarray:
+        """Closed-form utility gradient with respect to the input point.
+
+        *mu*/*sigma* are the scalar posterior moments at the point and
+        *dmu*/*dsigma* their input gradients (shape ``(d,)``, e.g. from
+        ``GaussianProcessRegressor.predict_with_gradient``); the chain
+        rule turns them into ``∂utility/∂u``.  Where the utility is
+        piecewise-flat in ``sigma <= eps`` regions the gradient is zero,
+        matching the clipped values ``__call__`` returns.
+        """
+        raise NotImplementedError
+
 
 class ProbabilityOfImprovement(AcquisitionFunction):
     """Eq. 2: probability of improving on the incumbent by at least xi."""
@@ -66,6 +79,13 @@ class ProbabilityOfImprovement(AcquisitionFunction):
         out = np.where(sigma > _EPS, out, (d > 0).astype(float))
         return out
 
+    def gradient(self, mu, sigma, dmu, dsigma, f_best):
+        # PI = Φ(z), z = (f_best − μ − ξ)/σ  ⇒  ∇PI = φ(z)(−∇μ − z∇σ)/σ.
+        if sigma <= _EPS:
+            return np.zeros_like(dmu)
+        z = (f_best - mu - self.xi) / sigma
+        return norm.pdf(z) * (-dmu - z * dsigma) / sigma
+
 
 class ExpectedImprovement(AcquisitionFunction):
     """Eq. 3: expected improvement over the incumbent."""
@@ -84,6 +104,14 @@ class ExpectedImprovement(AcquisitionFunction):
         ei = d * norm.cdf(z) + sigma * norm.pdf(z)
         return np.where(sigma > _EPS, np.maximum(ei, 0.0), 0.0)
 
+    def gradient(self, mu, sigma, dmu, dsigma, f_best):
+        # EI = dΦ(z) + σφ(z) with d = f_best − μ − ξ, z = d/σ.  The φ′
+        # terms cancel (d − σz = 0), leaving ∇EI = −Φ(z)∇μ + φ(z)∇σ.
+        if sigma <= _EPS:
+            return np.zeros_like(dmu)
+        z = (f_best - mu - self.xi) / sigma
+        return -norm.cdf(z) * dmu + norm.pdf(z) * dsigma
+
 
 class LowerConfidenceBound(AcquisitionFunction):
     """Eq. 4: optimistic lower bound; utility is its negation."""
@@ -99,3 +127,7 @@ class LowerConfidenceBound(AcquisitionFunction):
         mu = np.asarray(mu, dtype=float)
         sigma = np.asarray(sigma, dtype=float)
         return -(mu - self.kappa * sigma)
+
+    def gradient(self, mu, sigma, dmu, dsigma, f_best):
+        # Utility is −μ + κσ, linear in the posterior moments.
+        return -dmu + self.kappa * dsigma

@@ -24,6 +24,7 @@ from ..gp.kernels import Kernel
 from ..sampling.lhs import latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import Evaluation
+from ..utils.parallel import parallel_map
 from ..utils.rng import as_generator
 from .guard import MedianGuard
 from .hedge import GPHedge
@@ -101,18 +102,52 @@ class BOEngine:
         amplify into different nominated points.  Off by default so BO
         decisions are bit-reproducible across versions; enable when raw
         iteration throughput matters more than exact replay.
+    gradients:
+        Power both inner optimizers with exact analytic gradients: the
+        GP hyperparameter fit uses the trace-identity likelihood
+        gradient (:class:`GaussianProcessRegressor`
+        ``analytic_gradients``), and acquisition refinement passes
+        closed-form utility gradients to L-BFGS-B from
+        ``refine_starts`` sweep starts instead of a single
+        finite-difference polish.  Off by default for the same
+        reproducibility reason as ``incremental``: the exact optimizers
+        take different (usually better) steps, so nominated points can
+        differ from the finite-difference path.
+    batch_size:
+        Evaluate q points per BO round instead of one.  Points after the
+        first are nominated against constant-liar fantasies (pending
+        points fixed at the incumbent objective, the "CL-min" lie) so a
+        round proposes q *distinct* configurations, then all q are
+        evaluated concurrently through ``repro.utils.parallel`` when the
+        objective supports ``spawn_view()`` (guard thresholds, journal
+        entries, fault accounting and Hedge gains are still charged per
+        point).  ``batch_size=1`` (the default) is the paper's serial
+        Algorithm 1, decision-for-decision.
+    refine_starts:
+        Sweep candidates polished per acquisition when ``gradients`` is
+        on (the gradient refinement is cheap enough to multi-start).
+    n_jobs:
+        Workers for GP multi-start fits and batched evaluation (``None``
+        defers to ``ROBOTUNE_JOBS``).  Results are identical for any
+        worker count.
     """
 
     def __init__(self, *, kernel: Kernel | None = None,
                  hedge: GPHedge | None = None, n_candidates: int = 512,
                  hyperopt_every: int = 5, refine: bool = True,
                  early_stop_patience: int | None = None,
-                 incremental: bool = False,
+                 incremental: bool = False, gradients: bool = False,
+                 batch_size: int = 1, refine_starts: int = 4,
+                 n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
         if n_candidates < 8:
             raise ValueError("n_candidates must be >= 8")
         if hyperopt_every < 1:
             raise ValueError("hyperopt_every must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if refine_starts < 1:
+            raise ValueError("refine_starts must be >= 1")
         self._kernel_template = kernel or default_bo_kernel()
         self._theta0 = self._kernel_template.theta.copy()
         self._rng = as_generator(rng)
@@ -122,6 +157,10 @@ class BOEngine:
         self.refine = refine
         self.early_stop_patience = early_stop_patience
         self.incremental = incremental
+        self.gradients = gradients
+        self.batch_size = batch_size
+        self.refine_starts = refine_starts
+        self.n_jobs = n_jobs
         self.records: list[BOIterationRecord] = []
         #: iterations that fell back to an LHS proposal because the GP
         #: could not be fit or the observation window was degenerate.
@@ -156,6 +195,9 @@ class BOEngine:
         """
         if budget < 0:
             raise ValueError("budget must be >= 0")
+        if self.batch_size > 1:
+            return self._minimize_batched(evaluate, space, initial, budget,
+                                          guard)
         evals: list[Evaluation] = []
         X = [np.asarray(e.vector, dtype=float) for e in initial]
         y = [float(e.objective) for e in initial]
@@ -229,6 +271,156 @@ class BOEngine:
                     break
         return evals
 
+    # -- batched mode --------------------------------------------------------------
+    def _minimize_batched(self, evaluate, space: ConfigSpace,
+                          initial: Sequence[Evaluation], budget: int,
+                          guard: MedianGuard | None) -> list[Evaluation]:
+        """q-point-per-round variant of :meth:`minimize`.
+
+        Each round nominates ``min(batch_size, remaining)`` distinct
+        points via constant-liar fantasies, evaluates them concurrently
+        (when the objective supports :meth:`spawn_view`), then performs
+        the same per-point bookkeeping as the serial loop: guard
+        observations, iteration records, Hedge gain updates and the
+        early-stop counter are all charged per evaluation, in nomination
+        order.
+        """
+        evals: list[Evaluation] = []
+        X = [np.asarray(e.vector, dtype=float) for e in initial]
+        y = [float(e.objective) for e in initial]
+        if guard is not None:
+            for e in initial:
+                guard.observe(e.cost_s, e.ok)
+        if not X:
+            raise ValueError("BO requires at least one prior observation")
+
+        since_improve = 0
+        best_so_far = min(y)
+        it = 0
+        while it < budget:
+            q = min(self.batch_size, budget - it)
+            points, choices = self._nominate_batch(space, X, y, q, len(evals))
+            # One kill threshold per round: all q points launch
+            # concurrently, so they share the guard state available at
+            # dispatch time (results still tighten it for the next round).
+            threshold = guard.threshold_s() if guard is not None else None
+            batch = self._evaluate_batch(evaluate, points, threshold)
+            for ev in batch:
+                evals.append(ev)
+                X.append(np.asarray(ev.vector, dtype=float))
+                y.append(float(ev.objective))
+                if guard is not None:
+                    guard.observe(ev.cost_s, ev.ok)
+
+            if any(c is not None for c in choices):
+                # Refit once on the real (lie-free) observations and score
+                # every round choice's nominees, exactly as the serial
+                # loop scores its single choice.
+                try:
+                    gp2 = self._fit_gp(np.vstack(X), np.asarray(y), None)
+                    y_arr = np.asarray(y)
+                    mean = float(y_arr.mean())
+                    std = _safe_std(y_arr)
+                    for choice in choices:
+                        if choice is None:
+                            continue
+                        mu = gp2.predict(choice.nominees)
+                        self.hedge.update(-(mu - mean) / std)
+                except np.linalg.LinAlgError:
+                    self.fallbacks += 1
+
+            stop = False
+            for j, (u, ev, choice) in enumerate(zip(points, batch, choices)):
+                self.records.append(BOIterationRecord(
+                    iteration=it + j,
+                    chosen_acquisition=choice.chosen_name
+                    if choice is not None else "fallback/lhs",
+                    probabilities=choice.probabilities
+                    if choice is not None else np.array([]),
+                    point=u,
+                    objective=ev.objective))
+                if ev.objective < best_so_far - 1e-9:
+                    best_so_far = ev.objective
+                    since_improve = 0
+                else:
+                    since_improve += 1
+                    if (self.early_stop_patience is not None
+                            and since_improve >= self.early_stop_patience):
+                        stop = True
+            it += q
+            if stop:
+                break
+        return evals
+
+    def _nominate_batch(self, space: ConfigSpace, X: list[np.ndarray],
+                        y: list[float], q: int, n_evals: int):
+        """Propose q distinct points for one round via constant liars.
+
+        The first point comes from the regular surrogate; each subsequent
+        nomination sees the pending points appended with the incumbent
+        objective as their fantasy outcome ("CL-min" — the optimistic lie
+        deflates the posterior variance around pending points, steering
+        later nominations elsewhere).  A nominee that still collides with
+        a pending point is replaced by a space-filling LHS draw so the
+        round never burns budget re-evaluating one configuration.
+        """
+        points: list[np.ndarray] = []
+        choices: list = []
+        Xc = list(X)
+        yc = list(y)
+        lie = float(min(y))
+        for j in range(q):
+            choice = None
+            try:
+                if float(np.ptp(np.asarray(y))) < _STD_FLOOR:
+                    raise _DegenerateObservations
+                yc_arr = np.asarray(yc)
+                # Only the round's first fit may trigger scheduled
+                # hyperopt; fantasy refits reuse the current theta.
+                gp = self._fit_gp(np.vstack(Xc), yc_arr,
+                                  n_evals if j == 0 else None)
+                nominees = self._nominate(gp, yc_arr, space)
+                choice = self.hedge.choose(nominees)
+                u = space.snap(choice.nominees[choice.chosen_index])
+            except (np.linalg.LinAlgError, _DegenerateObservations):
+                self.fallbacks += 1
+                u = space.snap(latin_hypercube(1, space.dim, self._rng)[0])
+            if any(np.array_equal(u, p) for p in points):
+                u = space.snap(latin_hypercube(1, space.dim, self._rng)[0])
+            points.append(u)
+            choices.append(choice)
+            if j + 1 < q:
+                Xc.append(np.asarray(u, dtype=float))
+                yc.append(lie)
+        return points, choices
+
+    def _evaluate_batch(self, evaluate, points: list[np.ndarray],
+                        threshold: float | None) -> list[Evaluation]:
+        """Evaluate a round's points, concurrently when safely possible.
+
+        Objectives advertise concurrent evaluation by exposing
+        ``spawn_view()`` (see :class:`repro.tuners.base.Objective`); each
+        point then runs on its own view, with views spawned *serially*
+        beforehand so their RNG streams — and therefore the results — are
+        independent of worker count.  The capability is looked up on the
+        objective's *class*: delegating wrappers (journal, fault
+        injector) forward unknown attributes via ``__getattr__``, and
+        borrowing the inner objective's views would silently skip their
+        per-evaluation bookkeeping.  Anything without a class-level
+        ``spawn_view`` — wrappers included — evaluates serially, in
+        nomination order.
+        """
+        if len(points) > 1 and getattr(type(evaluate), "spawn_view",
+                                       None) is not None:
+            views = [evaluate.spawn_view() for _ in points]
+
+            def _run(idx: int) -> Evaluation:
+                return views[idx](points[idx], threshold)
+
+            return parallel_map(_run, list(range(len(points))),
+                                n_jobs=self.n_jobs, backend="thread")
+        return [evaluate(u, threshold) for u in points]
+
     # -- internals ------------------------------------------------------------------
     def _fit_gp(self, X: np.ndarray, y: np.ndarray,
                 n_new: int | None) -> GaussianProcessRegressor:
@@ -246,9 +438,20 @@ class BOEngine:
         if self._gp is None:
             self._gp = GaussianProcessRegressor(
                 kernel=self._kernel_template, normalize_y=True,
-                optimize=full, n_restarts=2, rng=self._rng)
+                optimize=full, n_restarts=2,
+                analytic_gradients=self.gradients, n_jobs=self.n_jobs,
+                rng=self._rng)
         gp = self._gp
         gp.optimize = full
+        if (not full and gp._fitted and self._theta is not None
+                and np.array_equal(gp._theta_chol, self._theta)
+                and gp._X.shape == X.shape and np.array_equal(gp._X, X)
+                and np.array_equal(gp._y_raw, y)):
+            # The post-evaluation cheap refit already factorized exactly
+            # this data at exactly these hyperparameters; refitting would
+            # reproduce the same Cholesky bit-for-bit, so skip it.
+            self.last_gp = gp
+            return gp
         if full:
             # Start the likelihood optimization from the template's
             # hyperparameters, exactly as a freshly copied kernel would.
@@ -293,11 +496,22 @@ class BOEngine:
         nominees = np.empty((len(self.hedge.functions), dim))
         for i, acq in enumerate(self.hedge.functions):
             util = acq(mu, sigma, f_best)
-            best_cand = int(np.argmax(util))
-            start = U[best_cand]
-            nominees[i] = self._refine(acq, gp, start, f_best, mean, std,
-                                       float(util[best_cand])) \
-                if self.refine else start
+            if not self.refine:
+                nominees[i] = U[int(np.argmax(util))]
+            elif self.gradients:
+                # Multi-start polish from the k best sweep candidates —
+                # affordable because each gradient step costs one fused
+                # prediction instead of d+1 finite-difference probes.
+                k = min(self.refine_starts, len(U))
+                top = np.argsort(-util, kind="stable")[:k]
+                nominees[i] = self._refine_gradient(acq, gp, U[top],
+                                                    f_best, mean, std,
+                                                    util[top])
+            else:
+                best_cand = int(np.argmax(util))
+                nominees[i] = self._refine(acq, gp, U[best_cand], f_best,
+                                           mean, std,
+                                           float(util[best_cand]))
         return nominees
 
     def _refine(self, acq, gp: GaussianProcessRegressor, start: np.ndarray,
@@ -307,7 +521,9 @@ class BOEngine:
 
         *start_util* is the start point's utility from the candidate
         sweep, so accepting/rejecting the polished point costs no extra
-        GP prediction.
+        GP prediction.  The polished point is kept only when it does not
+        regress the sweep winner — L-BFGS-B can report success after its
+        finite-difference line search stalls at a worse point.
         """
 
         def neg_util(u: np.ndarray) -> float:
@@ -319,5 +535,38 @@ class BOEngine:
         res = minimize(neg_util, start, method="L-BFGS-B",
                        bounds=[(0.0, 1.0)] * len(start),
                        options={"maxiter": 25})
-        return np.clip(res.x, 0.0, 1.0) if res.success or res.fun < -start_util \
-            else start
+        return np.clip(res.x, 0.0, 1.0) if res.fun <= -start_util else start
+
+    def _refine_gradient(self, acq, gp: GaussianProcessRegressor,
+                         starts: np.ndarray, f_best: float, mean: float,
+                         std: float, start_utils: np.ndarray) -> np.ndarray:
+        """Multi-start L-BFGS-B polish with exact utility gradients.
+
+        Each objective call returns the utility *and* its closed-form
+        gradient (posterior input-gradients chained through the
+        acquisition), so the optimizer never finite-differences the GP.
+        Returns the best polished point across starts, falling back to
+        the sweep winner when no start improves on it.
+        """
+
+        def neg_util_and_grad(u: np.ndarray) -> tuple[float, np.ndarray]:
+            mu, sigma, dmu, dsigma = gp.predict_with_gradient(u)
+            mu_n = (mu - mean) / std
+            sigma_n = sigma / std
+            val = -float(acq(np.array([mu_n]), np.array([sigma_n]),
+                             f_best)[0])
+            grad = -acq.gradient(mu_n, sigma_n, dmu / std, dsigma / std,
+                                 f_best)
+            return val, grad
+
+        bounds = [(0.0, 1.0)] * starts.shape[1]
+        best_u = starts[0]
+        best_fun = -float(start_utils[0])
+        for s in starts:
+            res = minimize(neg_util_and_grad, s, jac=True,
+                           method="L-BFGS-B", bounds=bounds,
+                           options={"maxiter": 25})
+            if res.fun < best_fun:
+                best_fun = float(res.fun)
+                best_u = np.clip(res.x, 0.0, 1.0)
+        return best_u

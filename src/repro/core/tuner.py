@@ -61,15 +61,23 @@ class ROBOTune(Tuner):
         Best Recent Configs pulled on a repeated workload (paper: 4).
     guard_multiplier:
         Median multiple for the bad-configuration guard.
+    batch_size:
+        Points evaluated per BO round (forwarded to
+        :class:`BOEngine` ``batch_size``).  The default 1 runs the
+        paper's serial loop; larger values propose constant-liar batches
+        and evaluate them concurrently when the objective supports
+        ``spawn_view()``.
     engine_kwargs:
         Extra arguments forwarded to :class:`BOEngine` (portfolio, candidate
-        counts, early stopping, ...).
+        counts, early stopping, gradients, ...).
     n_jobs:
         Workers for the selection phase's forest training and permutation
         importance when the default selector is constructed (an explicit
-        *selector* keeps its own setting).  ``None`` defers to the
-        ``ROBOTUNE_JOBS`` environment variable.  Tuning decisions are
-        identical for any worker count.
+        *selector* keeps its own setting), and — unless overridden in
+        *engine_kwargs* — for the BO engine's multi-start GP fits and
+        batched evaluations.  ``None`` defers to the ``ROBOTUNE_JOBS``
+        environment variable.  Tuning decisions are identical for any
+        worker count.
     """
 
     name = "ROBOTune"
@@ -80,6 +88,7 @@ class ROBOTune(Tuner):
                  init_samples: int = 20, memo_configs: int = 4,
                  guard_multiplier: float = 3.0,
                  store_results: int = 4,
+                 batch_size: int = 1,
                  engine_kwargs: dict | None = None,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
@@ -98,7 +107,15 @@ class ROBOTune(Tuner):
         self.memo_configs = memo_configs
         self.guard_multiplier = guard_multiplier
         self.store_results = store_results
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
         self.engine_kwargs = dict(engine_kwargs or {})
+        self.engine_kwargs.setdefault("batch_size", batch_size)
+        # The engine shares the worker budget: it parallelizes GP
+        # multi-start fits and batched evaluations, both of which return
+        # identical results for any worker count.
+        self.engine_kwargs.setdefault("n_jobs", n_jobs)
         self.n_jobs = n_jobs
         self._rng = as_generator(rng)
 

@@ -16,6 +16,7 @@ import numpy as np
 from scipy.linalg import cho_factor, cho_solve, solve_triangular
 from scipy.optimize import minimize
 
+from ..utils.parallel import parallel_map
 from ..utils.rng import as_generator
 from .kernels import ConstantKernel, Kernel, Matern52, WhiteKernel, _cdist_sq
 
@@ -51,11 +52,28 @@ class GaussianProcessRegressor:
     optimize:
         If False, keep the kernel's current hyperparameters (useful for
         tests and for very small training sets).
+    analytic_gradients:
+        Use the kernels' analytic ``∂K/∂θ`` and the Rasmussen–Williams
+        trace identity to hand L-BFGS-B an exact likelihood gradient
+        instead of finite differences.  One fused value-and-gradient call
+        replaces ``len(theta) + 1`` likelihood evaluations per gradient
+        step, all sharing a single Cholesky.  Off by default: the analytic
+        optimizer takes different (usually better) steps than the
+        finite-difference one, so fitted hyperparameters match only to
+        optimizer tolerance, not bit-for-bit.  Kernels without
+        ``value_and_theta_gradient`` silently fall back to the
+        finite-difference path.
+    n_jobs:
+        Workers for the multi-start likelihood optimization (``None``
+        defers to ``ROBOTUNE_JOBS``).  Each restart runs on a private
+        kernel copy and winners are chosen in start order, so the fitted
+        model is identical for any worker count.
     """
 
     def __init__(self, kernel: Kernel | None = None, *, alpha: float = 1e-10,
                  normalize_y: bool = True, n_restarts: int = 2,
-                 optimize: bool = True,
+                 optimize: bool = True, analytic_gradients: bool = False,
+                 n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -65,6 +83,8 @@ class GaussianProcessRegressor:
         self.normalize_y = normalize_y
         self.n_restarts = n_restarts
         self.optimize = optimize
+        self.analytic_gradients = analytic_gradients
+        self.n_jobs = n_jobs
         self.rng = rng
         self._fitted = False
 
@@ -182,18 +202,24 @@ class GaussianProcessRegressor:
             self._y_mean, self._y_std = 0.0, 1.0
         self._y = (y - self._y_mean) / self._y_std
 
-    def _K_train(self) -> np.ndarray:
+    def _K_train(self, kernel: Kernel | None = None) -> np.ndarray:
         """Training covariance (without jitter), from cached distances when
         the kernel supports it."""
+        kernel = self.kernel if kernel is None else kernel
         try:
-            return self.kernel.from_sq_dists(self._d2)
+            return kernel.from_sq_dists(self._d2)
         except NotImplementedError:
-            return self.kernel(self._X)
+            return kernel(self._X)
 
-    def _nll(self, theta: np.ndarray) -> float:
-        """Negative log marginal likelihood at the given hyperparameters."""
-        self.kernel.theta = theta
-        K = self._K_train() + self.alpha * np.eye(self._X.shape[0])
+    def _nll(self, theta: np.ndarray, kernel: Kernel | None = None) -> float:
+        """Negative log marginal likelihood at the given hyperparameters.
+
+        Operates on *kernel* when given (a private copy during parallel
+        multi-start), else mutates ``self.kernel`` in place.
+        """
+        kernel = self.kernel if kernel is None else kernel
+        kernel.theta = theta
+        K = self._K_train(kernel) + self.alpha * np.eye(self._X.shape[0])
         try:
             L = cho_factor(K, lower=True)
         except np.linalg.LinAlgError:
@@ -202,6 +228,40 @@ class GaussianProcessRegressor:
         n = self._X.shape[0]
         logdet = 2.0 * float(np.sum(np.log(np.diag(L[0]))))
         return 0.5 * float(self._y @ a) + 0.5 * logdet + 0.5 * n * _LOG_2PI
+
+    def _nll_and_grad(self, theta: np.ndarray, kernel: Kernel
+                      ) -> tuple[float, np.ndarray]:
+        """Negative log marginal likelihood and its exact theta-gradient.
+
+        One fused call shares a single covariance build and Cholesky
+        between the value and all partial derivatives, using the trace
+        identity (Rasmussen & Williams, eq. 5.9)
+
+        ``∂NLL/∂θ_j = ½ tr((K⁻¹ − ααᵀ) ∂K/∂θ_j)``,  ``α = K⁻¹ y``.
+        """
+        kernel.theta = theta
+        n = self._X.shape[0]
+        K, grads = kernel.value_and_theta_gradient(self._X, d2=self._d2)
+        K[np.diag_indices_from(K)] += self.alpha
+        try:
+            L = cho_factor(K, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e25, np.zeros(len(theta))
+        a = cho_solve(L, self._y)
+        logdet = 2.0 * float(np.sum(np.log(np.diag(L[0]))))
+        nll = 0.5 * float(self._y @ a) + 0.5 * logdet + 0.5 * n * _LOG_2PI
+        # M = K⁻¹ − ααᵀ turns every partial into one O(n²) contraction.
+        M = cho_solve(L, np.eye(n), check_finite=False)
+        M -= np.outer(a, a)
+        grad = np.array([0.5 * np.sum(M * G) for G in grads])
+        return nll, grad
+
+    def _kernel_has_theta_gradient(self) -> bool:
+        try:
+            self.kernel.value_and_theta_gradient(self._X[:1])
+        except NotImplementedError:
+            return False
+        return True
 
     def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
         """Log marginal likelihood at *theta* (default: current kernel)."""
@@ -219,12 +279,29 @@ class GaussianProcessRegressor:
         starts = [self.kernel.theta]
         for _ in range(self.n_restarts):
             starts.append(rng.uniform(bounds[:, 0], bounds[:, 1]))
+        use_grad = self.analytic_gradients and self._kernel_has_theta_gradient()
+
+        def _run_start(start: np.ndarray) -> tuple[float, np.ndarray]:
+            # Each restart optimizes a private kernel copy, so threaded
+            # workers never race on shared hyperparameter state and the
+            # result matches the serial loop bit-for-bit.
+            kernel = copy.deepcopy(self.kernel)
+            if use_grad:
+                res = minimize(self._nll_and_grad, start, args=(kernel,),
+                               jac=True, method="L-BFGS-B",
+                               bounds=bounds, options={"maxiter": 100})
+            else:
+                res = minimize(self._nll, start, args=(kernel,),
+                               method="L-BFGS-B",
+                               bounds=bounds, options={"maxiter": 100})
+            return float(res.fun), res.x
+
+        results = parallel_map(_run_start, starts, n_jobs=self.n_jobs,
+                               backend="thread")
         best_theta, best_nll = self.kernel.theta, np.inf
-        for start in starts:
-            res = minimize(self._nll, start, method="L-BFGS-B",
-                           bounds=bounds, options={"maxiter": 100})
-            if res.fun < best_nll:
-                best_nll, best_theta = float(res.fun), res.x
+        for fun, x in results:
+            if fun < best_nll:
+                best_nll, best_theta = fun, x
         self.kernel.theta = best_theta
 
     def _precompute(self) -> None:
@@ -285,6 +362,43 @@ class GaussianProcessRegressor:
         var = np.maximum(var, 1e-12)
         std = np.sqrt(var) * self._y_std
         return mean, std
+
+    def predict_with_gradient(self, x: np.ndarray
+                              ) -> tuple[float, float, np.ndarray, np.ndarray]:
+        """Posterior mean/std at a single point plus their input gradients.
+
+        Returns ``(mu, sigma, dmu, dsigma)`` where the gradients are
+        ``∂μ/∂x`` and ``∂σ/∂x``, each of shape ``(d,)``:
+
+        ``∂μ/∂x = (∂k/∂x)ᵀ K⁻¹y`` and ``∂σ²/∂x = −2 (K⁻¹k)ᵀ ∂k/∂x``
+        (every stationary kernel in this package has an input-independent
+        prior variance, so ``latent_diag`` contributes nothing).  When the
+        variance hits the numerical floor the σ-gradient is zeroed, making
+        it consistent with the clipped value :meth:`predict` returns.
+        Mean and std match :meth:`fast_predict` bit-for-bit.
+        """
+        if not self._fitted:
+            raise RuntimeError("GP is not fitted")
+        x = np.asarray(x, dtype=float)
+        xq = x[None, :]
+        # Mean/std arithmetic mirrors fast_predict exactly (same shapes,
+        # same reductions) so both entry points return the same bits.
+        Ks = self.kernel(xq, self._X)
+        mean = Ks @ self._weights
+        mean = mean * self._y_std + self._y_mean
+        v = cho_solve(self._chol, Ks.T, check_finite=False)
+        var = self.kernel.latent_diag(xq) - np.einsum("ij,ji->i", Ks, v)
+        clipped = var[0] < 1e-12
+        var = np.maximum(var, 1e-12)
+        std = np.sqrt(var) * self._y_std
+        dk = self.kernel.input_gradient(x, self._X)
+        dmu = (dk.T @ self._weights) * self._y_std
+        if clipped:
+            dsigma = np.zeros_like(x)
+        else:
+            dvar = -2.0 * (dk.T @ v[:, 0])
+            dsigma = dvar / (2.0 * float(np.sqrt(var[0]))) * self._y_std
+        return float(mean[0]), float(std[0]), dmu, dsigma
 
     @property
     def X_train_(self) -> np.ndarray:

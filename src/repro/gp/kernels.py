@@ -33,6 +33,21 @@ def _cdist_sq(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
     return np.maximum(d2, 0.0)
 
 
+#: Identity matrices reused by white-noise kernels across likelihood
+#: evaluations (the gradient hot path allocates one per call otherwise).
+_EYE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _eye(n: int) -> np.ndarray:
+    """Cached identity matrix; treat the result as read-only."""
+    out = _EYE_CACHE.get(n)
+    if out is None:
+        if len(_EYE_CACHE) > 8:
+            _EYE_CACHE.clear()
+        out = _EYE_CACHE[n] = np.eye(n)
+    return out
+
+
 class Kernel(ABC):
     """Base covariance function with log-parameterized hyperparameters."""
 
@@ -84,6 +99,49 @@ class Kernel(ABC):
     def bounds(self) -> np.ndarray:
         """Log-space box bounds, shape ``(len(theta), 2)``."""
 
+    # -- analytic gradients --------------------------------------------------------
+    def value_and_theta_gradient(self, X: np.ndarray,
+                                 d2: np.ndarray | None = None
+                                 ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Training covariance ``k(X, X)`` together with ``∂K/∂θ_i``.
+
+        Returns ``(K, grads)`` where ``grads`` is one ``(n, n)`` matrix per
+        log-space hyperparameter, in :attr:`theta` order.  Passing the
+        cached squared-distance matrix *d2* lets distance-based kernels
+        skip recomputing it (the same contract as :meth:`from_sq_dists`).
+        Kernels share intermediates (distances, exponentials) between the
+        value and its gradients, so one fused call is substantially
+        cheaper than ``self(X)`` plus per-parameter evaluations.
+
+        Contract: the returned matrices never alias each other or *d2*,
+        so callers may mutate ``K`` (e.g. add diagonal jitter) freely.
+        """
+        raise NotImplementedError
+
+    def theta_gradient(self, X: np.ndarray) -> np.ndarray:
+        """Stack of ``∂k(X, X)/∂θ_i``, shape ``(len(theta), n, n)``.
+
+        Gradients are with respect to the *log-space* hyperparameters
+        exposed by :attr:`theta` (the coordinates the marginal-likelihood
+        optimization runs in).
+        """
+        _, grads = self.value_and_theta_gradient(X)
+        n = X.shape[0]
+        if not grads:
+            return np.empty((0, n, n))
+        return np.stack(grads)
+
+    def input_gradient(self, x: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Jacobian ``∂k(x, X_j)/∂x`` of the cross-covariance vector.
+
+        *x* is a single query point of shape ``(d,)``; the result has
+        shape ``(n, d)`` with row *j* holding the gradient of
+        ``k(x, X_j)`` with respect to *x*.  Like :meth:`__call__` with
+        distinct point sets, white-noise components contribute zero, so
+        the Jacobian is that of the latent (noise-free) covariance.
+        """
+        raise NotImplementedError
+
     # -- composition -------------------------------------------------------------
     def __add__(self, other: "Kernel") -> "Sum":
         return Sum(self, other)
@@ -111,6 +169,15 @@ class ConstantKernel(Kernel):
 
     def from_sq_dists(self, d2):
         return np.full(d2.shape, self.value)
+
+    def value_and_theta_gradient(self, X, d2=None):
+        n = X.shape[0] if d2 is None else d2.shape[0]
+        K = np.full((n, n), self.value)
+        # d/dlog(v) of v = v, i.e. the kernel matrix itself.
+        return K, [K.copy()]
+
+    def input_gradient(self, x, X):
+        return np.zeros((X.shape[0], x.shape[0]))
 
     @property
     def theta(self):
@@ -145,6 +212,20 @@ class RBF(Kernel):
 
     def from_sq_dists(self, d2):
         return np.exp(-0.5 * d2 / self.length_scale ** 2)
+
+    def value_and_theta_gradient(self, X, d2=None):
+        if d2 is None:
+            d2 = _cdist_sq(X, X)
+        q = d2 / self.length_scale ** 2
+        K = np.exp(-0.5 * q)
+        # K = exp(-q/2) with q = d²/ℓ²; dq/dlogℓ = -2q, so dK/dlogℓ = K·q.
+        return K, [K * q]
+
+    def input_gradient(self, x, X):
+        diff = x[None, :] - X
+        inv_l2 = 1.0 / self.length_scale ** 2
+        k = np.exp(-0.5 * np.sum(diff ** 2, axis=1) * inv_l2)
+        return (-inv_l2) * diff * k[:, None]
 
     @property
     def theta(self):
@@ -185,6 +266,24 @@ class Matern52(Kernel):
         r = np.sqrt(d2) / self.length_scale
         s = math.sqrt(5.0) * r
         return (1.0 + s + s ** 2 / 3.0) * np.exp(-s)
+
+    def value_and_theta_gradient(self, X, d2=None):
+        if d2 is None:
+            d2 = _cdist_sq(X, X)
+        s = math.sqrt(5.0) * np.sqrt(d2) / self.length_scale
+        es = np.exp(-s)
+        s2 = s ** 2
+        K = (1.0 + s + s2 / 3.0) * es
+        # dk/ds = -(s/3)(1+s)e^{-s} and ds/dlogℓ = -s, hence:
+        dK = (s2 / 3.0) * (1.0 + s) * es
+        return K, [dK]
+
+    def input_gradient(self, x, X):
+        diff = x[None, :] - X
+        r = np.sqrt(np.sum(diff ** 2, axis=1))
+        s = math.sqrt(5.0) * r / self.length_scale
+        coef = -(5.0 / (3.0 * self.length_scale ** 2)) * (1.0 + s) * np.exp(-s)
+        return coef[:, None] * diff
 
     @property
     def theta(self):
@@ -227,6 +326,14 @@ class WhiteKernel(Kernel):
 
     def from_sq_dists(self, d2):
         return self.noise_level * np.eye(d2.shape[0])
+
+    def value_and_theta_gradient(self, X, d2=None):
+        n = X.shape[0] if d2 is None else d2.shape[0]
+        K = self.noise_level * _eye(n)
+        return K, [K.copy()]
+
+    def input_gradient(self, x, X):
+        return np.zeros((X.shape[0], x.shape[0]))
 
     @property
     def theta(self):
@@ -281,6 +388,14 @@ class Sum(_Binary):
     def latent_diag(self, X):
         return self.k1.latent_diag(X) + self.k2.latent_diag(X)
 
+    def value_and_theta_gradient(self, X, d2=None):
+        K1, g1 = self.k1.value_and_theta_gradient(X, d2)
+        K2, g2 = self.k2.value_and_theta_gradient(X, d2)
+        return K1 + K2, g1 + g2
+
+    def input_gradient(self, x, X):
+        return self.k1.input_gradient(x, X) + self.k2.input_gradient(x, X)
+
 
 class Product(_Binary):
     """Pointwise product of two kernels."""
@@ -296,3 +411,17 @@ class Product(_Binary):
 
     def latent_diag(self, X):
         return self.k1.latent_diag(X) * self.k2.latent_diag(X)
+
+    def value_and_theta_gradient(self, X, d2=None):
+        K1, g1 = self.k1.value_and_theta_gradient(X, d2)
+        K2, g2 = self.k2.value_and_theta_gradient(X, d2)
+        grads = [g * K2 for g in g1] + [K1 * g for g in g2]
+        return K1 * K2, grads
+
+    def input_gradient(self, x, X):
+        xq = x[None, :]
+        k1 = self.k1(xq, X)[0]
+        k2 = self.k2(xq, X)[0]
+        g1 = self.k1.input_gradient(x, X)
+        g2 = self.k2.input_gradient(x, X)
+        return g1 * k2[:, None] + k1[:, None] * g2

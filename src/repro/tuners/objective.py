@@ -24,6 +24,7 @@ depends on how the run ended:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -32,7 +33,7 @@ from ..space.space import ConfigSpace
 from ..sparksim.cluster import ClusterSpec
 from ..sparksim.result import RunStatus
 from ..sparksim.simulator import SparkSimulator
-from ..utils.rng import as_generator
+from ..utils.rng import as_generator, spawn
 from ..workloads.base import Workload
 from .base import Evaluation
 
@@ -107,8 +108,10 @@ class WorkloadObjective:
         self._time_limit_s = float(time_limit_s)
         self._rng = as_generator(rng)
         self._stages = workload.build_stages()
-        # Mutable holder so re-bound views (with_space) share the counter.
+        # Mutable holder so re-bound views (with_space) share the counter;
+        # the lock keeps increments exact under concurrent batch views.
         self._counter = {"n": 0}
+        self._lock = threading.Lock()
 
     @property
     def space(self) -> ConfigSpace:
@@ -132,6 +135,24 @@ class WorkloadObjective:
         clone = object.__new__(WorkloadObjective)
         clone.__dict__ = dict(self.__dict__)
         clone._space = space
+        return clone
+
+    def spawn_view(self) -> "WorkloadObjective":
+        """An independently seeded view for concurrent batch evaluation.
+
+        Shares the simulator, space, metric, counter and lock, but draws
+        its noise from a child generator split off this objective's
+        stream.  Views are spawned *serially* (each spawn advances the
+        parent stream), so a batch of views produces the same results
+        regardless of how many workers later run them or in what order
+        they complete — the determinism contract of
+        ``repro.utils.parallel``.  The simulator itself keeps no per-run
+        state, so views may execute concurrently.  Subclasses inherit it
+        (views keep the subclass behavior).
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__ = dict(self.__dict__)
+        clone._rng = spawn(self._rng, 1)[0]
         return clone
 
     # -- resilience hooks (repro.faults / repro.core.journal) ---------------------
@@ -168,7 +189,8 @@ class WorkloadObjective:
         conf = self._space.decode(np.asarray(u, dtype=float))
         result = self.simulator.run(self._stages, conf, rng=self._rng,
                                     time_limit_s=limit)
-        self._counter["n"] += 1
+        with self._lock:
+            self._counter["n"] += 1
         truncated = result.status is RunStatus.TIMEOUT
         if result.ok:
             objective = self._metric(result.duration_s, conf)

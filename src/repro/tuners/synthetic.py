@@ -12,12 +12,14 @@ parameter selection.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..space.parameter import FloatParameter
 from ..space.space import ConfigSpace
 from ..sparksim.result import RunStatus
-from ..utils.rng import as_generator
+from ..utils.rng import as_generator, spawn
 from .base import Evaluation
 
 __all__ = ["SyntheticObjective", "synthetic_space"]
@@ -85,7 +87,10 @@ class SyntheticObjective:
         self.noise = float(noise)
         self._time_limit_s = float(time_limit_s)
         self._rng = as_generator(rng)
-        self.n_evaluations = 0
+        # Mutable holder so views (with_space / spawn_view) share the
+        # counter; the lock keeps increments exact under batch threads.
+        self._counter = {"n": 0}
+        self._lock = threading.Lock()
         self._full_names = self._space.names[: n_effective]
         if name is not None:
             self.workload = _Identity(name, dataset)
@@ -98,11 +103,33 @@ class SyntheticObjective:
     def time_limit_s(self) -> float:
         return self._time_limit_s
 
+    @property
+    def n_evaluations(self) -> int:
+        """Total evaluations across this objective and all of its views."""
+        return self._counter["n"]
+
+    @n_evaluations.setter
+    def n_evaluations(self, value: int) -> None:
+        self._counter["n"] = int(value)
+
     def with_space(self, space: ConfigSpace) -> "SyntheticObjective":
         """View through a subspace; frozen coordinates come from decode."""
         clone = object.__new__(SyntheticObjective)
         clone.__dict__ = dict(self.__dict__)
         clone._space = space
+        return clone
+
+    def spawn_view(self) -> "SyntheticObjective":
+        """An independently seeded view for concurrent batch evaluation.
+
+        Same contract as ``WorkloadObjective.spawn_view``: shares the
+        space and evaluation counter, carries a child RNG split off the
+        parent stream so batched results are worker-count independent.
+        Subclasses inherit it (views keep the subclass behavior).
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__ = dict(self.__dict__)
+        clone._rng = spawn(self._rng, 1)[0]
         return clone
 
     def true_value(self, conf: dict) -> float:
@@ -120,7 +147,8 @@ class SyntheticObjective:
         limit = self._time_limit_s
         if time_limit_s is not None:
             limit = min(limit, float(time_limit_s))
-        self.n_evaluations += 1
+        with self._lock:
+            self._counter["n"] += 1
         if value > limit:
             return Evaluation(vector=u.copy(), config=conf,
                               objective=self._time_limit_s, cost_s=limit,

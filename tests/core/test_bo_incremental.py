@@ -55,9 +55,9 @@ class TestIncremental:
 
 class TestRefine:
     def test_refined_nominee_never_worse_than_start(self):
-        # _refine accepts the polished point only when L-BFGS-B succeeded
-        # or strictly beat the sweep candidate; either way the evaluated
-        # point stays within the unit box.
+        # _refine accepts the polished point only when it does not regress
+        # the sweep winner; either way the evaluated point stays within
+        # the unit box.
         space, objective, initial = make_problem(seed=6)
         engine = BOEngine(rng=7, n_candidates=64, refine=True)
         evals = engine.minimize(objective, space, initial, budget=6)

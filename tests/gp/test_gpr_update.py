@@ -143,8 +143,9 @@ class TestGramCache:
         gp.fit(X, y)
 
         class NoCache(GaussianProcessRegressor):
-            def _K_train(self):
-                return self.kernel(self._X)
+            def _K_train(self, kernel=None):
+                kernel = self.kernel if kernel is None else kernel
+                return kernel(self._X)
 
         ref = NoCache(kernel=default_bo_kernel(), rng=5)
         ref.fit(X, y)
