@@ -5,8 +5,6 @@ guaranteed best on an unknown objective; the adaptive portfolio should be
 competitive with the best individual function.
 """
 
-import numpy as np
-
 from repro.core import (ExpectedImprovement, GPHedge, LowerConfidenceBound,
                         ParameterSelector, ProbabilityOfImprovement, ROBOTune)
 

@@ -7,7 +7,6 @@ configuration in fewer iterations (Figure 6's mechanism).
 
 import numpy as np
 
-from repro.bench import iterations_to_within
 from repro.core import (ConfigMemoizationBuffer, ParameterSelectionCache,
                         ParameterSelector, ROBOTune)
 from repro.space import spark_space

@@ -22,6 +22,7 @@ appears in tee'd logs.
 
 from __future__ import annotations
 
+import functools
 import os
 from pathlib import Path
 
@@ -42,16 +43,11 @@ BUDGET = _env_int("REPRO_BENCH_BUDGET", 100)
 FIG2_SAMPLES = _env_int("REPRO_BENCH_FIG2_SAMPLES", 200 if FULL else 120)
 FIG7_SAMPLES = _env_int("REPRO_BENCH_FIG7_SAMPLES", 200 if FULL else 150)
 
-_STUDY: StudyResult | None = None
-
-
+@functools.lru_cache(maxsize=1)
 def get_study() -> StudyResult:
     """The shared comparison study (built on first use)."""
-    global _STUDY
-    if _STUDY is None:
-        _STUDY = ComparisonStudy(budget=BUDGET, trials=TRIALS,
-                                 keep_results=True, base_seed=7).run()
-    return _STUDY
+    return ComparisonStudy(budget=BUDGET, trials=TRIALS,
+                           keep_results=True, base_seed=7).run()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,74 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .engine import analyze_paths
+from .registry import rule_catalog
+from .reporters import render_json, render_text
+
+
+def _split_ids(values: list[str]) -> list[str]:
+    out: list[str] = []
+    for value in values:
+        out.extend(tok for tok in value.replace(",", " ").split() if tok)
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("AST-based invariant linter: determinism, parallel "
+                     "safety, fault discipline, numerical hygiene "
+                     "(docs/ANALYSIS.md)"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="IDS",
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, title, rationale in rule_catalog():
+            print(f"{rule_id}  {title}")
+            print(f"        {rationale}")
+        return 0
+    select = _split_ids(args.select) or None
+    ignore = _split_ids(args.ignore) or None
+    try:
+        report = analyze_paths(args.paths, select=select, ignore=ignore)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""File discovery, rule execution, and suppression matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import Rule, all_rule_ids, build_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
+                        ".pytest_cache", ".mypy_cache", ".ruff_cache"})
+
+#: Id under which engine-level problems (syntax errors, unused
+#: suppressions) are reported; mirrors rules/meta.py.
+META_RULE_ID = "RPA000"
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Outcome of one linter run over a set of paths."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int
+    rule_ids: tuple[str, ...]
+
+    @property
+    def unsuppressed(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def suppressed(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.suppressed)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.unsuppressed else 0
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
+        elif root.is_dir():
+            candidates = sorted(
+                p for p in root.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+                and not any(part.endswith(".egg-info") for part in p.parts))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                out.append(path)
+    return out
+
+
+def _apply_suppressions(ctx: ModuleContext,
+                        raw: list[Finding],
+                        meta_active: bool) -> list[Finding]:
+    """Mark suppressed findings and report stale suppressions."""
+    out: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+    for finding in raw:
+        sup = ctx.suppressions.get(finding.line)
+        if sup is not None and finding.rule in sup.rules:
+            used.add((finding.line, finding.rule))
+            out.append(finding.suppress(sup.justification))
+        else:
+            out.append(finding)
+    if meta_active:
+        known = set(all_rule_ids())
+        for sup in ctx.suppressions.values():
+            for rule_id in sup.rules:
+                if rule_id in known and (sup.line, rule_id) not in used:
+                    out.append(Finding(
+                        rule=META_RULE_ID, path=ctx.display, line=sup.line,
+                        col=1,
+                        message=(f"unused suppression: {rule_id} reports no "
+                                 "finding on this line")))
+    return out
+
+
+def analyze_file(path: Path, rules: Sequence[Rule],
+                 display: str | None = None) -> list[Finding]:
+    """Run *rules* over one file, returning suppression-resolved findings."""
+    shown = display if display is not None else str(path)
+    try:
+        ctx = ModuleContext.parse(path, display=shown)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return [Finding(rule=META_RULE_ID, path=shown, line=line, col=1,
+                        message=f"file does not parse: {exc.__class__.__name__}: {exc}")]
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+    meta_active = any(rule.id == META_RULE_ID for rule in rules)
+    resolved = _apply_suppressions(ctx, raw, meta_active)
+    resolved.sort(key=Finding.sort_key)
+    return resolved
+
+
+def analyze_paths(paths: Sequence[str | Path], *,
+                  select: Iterable[str] | None = None,
+                  ignore: Iterable[str] | None = None) -> AnalysisReport:
+    """Lint every Python file under *paths* with the selected rules."""
+    rules = build_rules(select=select, ignore=ignore)
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(analyze_file(path, rules))
+    findings.sort(key=Finding.sort_key)
+    return AnalysisReport(findings=tuple(findings),
+                          files_scanned=len(files),
+                          rule_ids=tuple(rule.id for rule in rules))

@@ -1,0 +1,95 @@
+"""Rule base class and the global rule registry.
+
+Every rule is a class with a unique id (``RP<family><nnn>``), a one-line
+title, a rationale naming the repo invariant it protects, and a
+``check`` generator over a :class:`~repro.analysis.context.ModuleContext`.
+Registration happens at import time via the :func:`register` decorator;
+:mod:`repro.analysis.rules` imports every rule module so the registry is
+complete after ``import repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .suppressions import RULE_ID_RE
+
+
+class Rule:
+    """One invariant check, run once per module.
+
+    Subclasses set ``id``/``title``/``rationale`` and implement
+    :meth:`check` (a plain base class rather than an ABC so the registry
+    can hold ``type[Rule]`` and instantiate entries generically).
+    """
+
+    id: ClassVar[str]
+    title: ClassVar[str]
+    rationale: ClassVar[str]
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield a :class:`Finding` for every violation in *ctx*."""
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST | int,
+                message: str) -> Finding:
+        """Build a finding anchored at *node* (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 1
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        return Finding(rule=self.id, path=ctx.display, line=line, col=col,
+                       message=message)
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = getattr(cls, "id", None)
+    if not isinstance(rule_id, str) or not RULE_ID_RE.match(rule_id):
+        raise ValueError(f"rule {cls.__name__} has no valid id: {rule_id!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package populates the registry exactly once.
+    from . import rules  # noqa: F401  (import-for-side-effect)
+
+
+def all_rule_ids() -> list[str]:
+    """Every registered rule id, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """``(id, title, rationale)`` for every registered rule, sorted by id."""
+    _ensure_loaded()
+    return [(rid, _REGISTRY[rid].title, _REGISTRY[rid].rationale)
+            for rid in sorted(_REGISTRY)]
+
+
+def build_rules(select: Iterable[str] | None = None,
+                ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all by default, minus *ignore*).
+
+    Raises ``ValueError`` on an id that names no registered rule, so a
+    typo in ``--select`` fails loudly instead of silently linting
+    nothing.
+    """
+    _ensure_loaded()
+    chosen = set(_REGISTRY) if select is None else set(select)
+    ignored = set(ignore) if ignore is not None else set()
+    unknown = sorted((chosen | ignored) - set(_REGISTRY))
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [_REGISTRY[rid]() for rid in sorted(chosen - ignored)]

@@ -1,0 +1,59 @@
+"""Text and JSON renderings of an :class:`AnalysisReport`.
+
+The JSON document is versioned and schema-stable (tests pin it): CI and
+tooling consume it, so fields are only ever added, never renamed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisReport
+from .findings import Finding
+
+JSON_FORMAT_VERSION = 1
+
+
+def _finding_dict(finding: Finding) -> dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+        "justification": finding.justification,
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "files_scanned": report.files_scanned,
+        "rules": list(report.rule_ids),
+        "summary": {
+            "total": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "unsuppressed": len(report.unsuppressed),
+        },
+        "findings": [_finding_dict(f) for f in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_text(report: AnalysisReport, *,
+                show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = f" (suppressed: {finding.justification})" \
+            if finding.suppressed else ""
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.message}{marker}")
+    n_bad = len(report.unsuppressed)
+    lines.append(f"{report.files_scanned} files scanned, "
+                 f"{len(report.rule_ids)} rules, "
+                 f"{n_bad} finding{'s' if n_bad != 1 else ''} "
+                 f"({len(report.suppressed)} suppressed)")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""RPA rules: the linter polices its own escape hatch.
+
+A suppression is a recorded debt: it must name the rule it silences and
+say why the violation is acceptable.  Malformed directives are reported
+here; *unused* directives (a noqa whose rule never fires on that line)
+are detected by the engine after all rules run, and reported under the
+same id so one ``--select RPA000`` covers all suppression hygiene.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+from .. import registry
+
+
+@register
+class SuppressionHygiene(Rule):
+    """RPA000: suppressions must be well-formed and name real rules."""
+
+    id = "RPA000"
+    title = "suppression hygiene"
+    rationale = (
+        "An unjustified or stale '# repro: noqa' silences an invariant "
+        "with no audit trail; every suppression must name a registered "
+        "rule, carry a '-- justification', and actually match a "
+        "finding.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for problem in ctx.suppression_problems:
+            yield self.finding(ctx, problem.line, problem.message)
+        known = set(registry.all_rule_ids())
+        for sup in ctx.suppressions.values():
+            for rule_id in sup.rules:
+                if rule_id not in known:
+                    yield self.finding(
+                        ctx, sup.line,
+                        f"suppression names unknown rule {rule_id!r}")

@@ -1,0 +1,138 @@
+"""RPN rules: numerical hygiene on the surrogate/decision path.
+
+The GP layer owns the one place where ill-conditioned linear algebra is
+allowed to fail and retry with jitter (gp/gpr.py); everywhere else a raw
+factorization, an exact float comparison, or an unguarded std
+denominator turns a degenerate observation window into a crash or NaN
+decisions (the all-censored case a fault-heavy session produces).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Factorization/solve primitives that require the caller to own
+#: conditioning (jitter retry, fallback): allowed only under gp/.
+_FACTORIZATIONS = frozenset({
+    "cholesky", "cho_factor", "cho_solve", "solve", "solve_triangular",
+    "inv", "lstsq",
+})
+
+_LINALG_MODULES = ("numpy.linalg", "scipy.linalg")
+
+
+@register
+class RawFactorizationOutsideGP(Rule):
+    """RPN001: linalg factorizations stay inside ``gp/``."""
+
+    id = "RPN001"
+    title = "raw linalg factorization outside gp/"
+    rationale = (
+        "gp/gpr.py owns the jitter-retry and refit fallback for "
+        "ill-conditioned covariance; a raw np.linalg.cholesky/solve "
+        "elsewhere crashes on the first degenerate window instead of "
+        "degrading gracefully.  Route through the GP layer or a guarded "
+        "helper.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        sub = ctx.repro_subpath
+        if sub is None or sub.startswith("gp/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _FACTORIZATIONS
+                        and isinstance(func.value, ast.Attribute)
+                        and func.value.attr == "linalg"):
+                    yield self.finding(
+                        ctx, node,
+                        f"raw linalg.{func.attr}() outside gp/; only the "
+                        "GP layer owns the jitter retry for "
+                        "ill-conditioned systems")
+            elif (isinstance(node, ast.ImportFrom)
+                    and node.module in _LINALG_MODULES):
+                for alias in node.names:
+                    if alias.name in _FACTORIZATIONS:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {node.module}.{alias.name} outside "
+                            "gp/; factorizations live behind the GP "
+                            "layer's conditioning guards")
+
+
+@register
+class FloatLiteralEquality(Rule):
+    """RPN002: no ``==``/``!=`` against non-zero float literals."""
+
+    id = "RPN002"
+    title = "float-literal equality"
+    rationale = (
+        "Exact equality against a float literal is representation "
+        "roulette after any arithmetic; compare with a tolerance "
+        "(math.isclose / np.isclose) or restructure.  Comparing against "
+        "exactly 0.0 is allowed: it is the idiomatic degenerate-data "
+        "check (identical targets, zero spread) and involves no "
+        "rounding.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparands = [node.left, *node.comparators]
+            relevant = [op for op in node.ops
+                        if isinstance(op, (ast.Eq, ast.NotEq))]
+            if not relevant:
+                continue
+            for comp in comparands:
+                if (isinstance(comp, ast.Constant)
+                        and isinstance(comp.value, float)
+                        and comp.value != 0.0):
+                    yield self.finding(
+                        ctx, node,
+                        f"equality comparison against float literal "
+                        f"{comp.value!r}; use a tolerance "
+                        "(math.isclose/np.isclose)")
+                    break
+
+
+@register
+class UnguardedStdDenominator(Rule):
+    """RPN003: std/var denominators route through guarded helpers."""
+
+    id = "RPN003"
+    title = "unguarded std/var denominator"
+    rationale = (
+        "Dividing by a freshly computed std/var explodes on the "
+        "degenerate windows fault-heavy sessions produce (all "
+        "evaluations censored at one cap => zero spread => inf/NaN "
+        "decisions).  Route through a floor-guarded helper like "
+        "repro.core.bo._safe_std.")
+
+    def _computes_spread(self, expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("std", "var")):
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            denominator: ast.expr | None = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                denominator = node.right
+            elif (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Div)):
+                denominator = node.value
+            if denominator is not None and self._computes_spread(denominator):
+                yield self.finding(
+                    ctx, node,
+                    "division by a raw .std()/.var(); use a floor-guarded "
+                    "helper (_safe_std) so degenerate windows cannot "
+                    "produce inf/NaN")

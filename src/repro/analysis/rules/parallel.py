@@ -1,0 +1,175 @@
+"""RPP rules: workers handed to ``repro.utils.parallel`` must be safe.
+
+The process backend pickles the worker callable and every item; the
+thread backend shares the interpreter.  Both are deterministic only if
+workers are self-contained: picklable (module-level), free of captured
+``self`` state, and never mutating shared RNGs or module globals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Backends that never pickle the worker; a literal one of these makes a
+#: closure worker safe to submit.
+_PICKLE_FREE_BACKENDS = ("thread", "serial")
+
+
+def _parallel_map_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name == "parallel_map":
+            yield node
+
+
+def _backend_is_pickle_free(call: ast.Call) -> bool:
+    """True only when the backend is *statically* known not to pickle.
+
+    ``parallel_map`` defaults to the thread backend, so an absent
+    ``backend=`` kwarg is safe; a non-literal backend (e.g.
+    ``self.parallel_backend``) may resolve to "process" at runtime and is
+    treated as pickling.
+    """
+    for kw in call.keywords:
+        if kw.arg == "backend":
+            return (isinstance(kw.value, ast.Constant)
+                    and kw.value.value in _PICKLE_FREE_BACKENDS)
+    return True
+
+
+def _nested_function_defs(tree: ast.Module) -> dict[str, ast.AST]:
+    """Functions defined inside another function, by name."""
+    nested: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested[child.name] = child
+    return nested
+
+
+def _references_self(node: ast.AST) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == "self"
+               for n in ast.walk(node))
+
+
+@register
+class NonPicklableWorker(Rule):
+    """RPP001: process-capable workers must be module-level callables."""
+
+    id = "RPP001"
+    title = "non-module-level parallel worker"
+    rationale = (
+        "A lambda or nested function submitted where the backend may be "
+        "'process' cannot be pickled; the failure only appears once "
+        "ROBOTUNE_JOBS enables the pool, long after the code merged. "
+        "Define the worker at module level (functools.partial is fine).")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        nested = _nested_function_defs(ctx.tree)
+        for call in _parallel_map_calls(ctx.tree):
+            if _backend_is_pickle_free(call) or not call.args:
+                continue
+            worker = call.args[0]
+            if isinstance(worker, ast.Lambda):
+                yield self.finding(
+                    ctx, call,
+                    "lambda submitted to parallel_map with a possibly-"
+                    "process backend; use a module-level function")
+            elif isinstance(worker, ast.Name) and worker.id in nested:
+                yield self.finding(
+                    ctx, call,
+                    f"nested function {worker.id!r} submitted to "
+                    "parallel_map with a possibly-process backend; move it "
+                    "to module level so it pickles")
+
+
+@register
+class WorkerClosesOverSelf(Rule):
+    """RPP002: process-capable workers must not capture ``self``."""
+
+    id = "RPP002"
+    title = "parallel worker captures self"
+    rationale = (
+        "A bound method (or closure over self) submitted to a possibly-"
+        "process pool drags the whole object through pickle: either it "
+        "fails outright or each worker mutates a private copy, silently "
+        "diverging from the serial decision sequence.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        nested = _nested_function_defs(ctx.tree)
+        for call in _parallel_map_calls(ctx.tree):
+            if _backend_is_pickle_free(call) or not call.args:
+                continue
+            worker = call.args[0]
+            if (isinstance(worker, ast.Attribute)
+                    and isinstance(worker.value, ast.Name)
+                    and worker.value.id == "self"):
+                yield self.finding(
+                    ctx, call,
+                    f"bound method self.{worker.attr} submitted to "
+                    "parallel_map with a possibly-process backend; workers "
+                    "must not capture self")
+            elif (isinstance(worker, ast.Name) and worker.id in nested
+                    and _references_self(nested[worker.id])):
+                yield self.finding(
+                    ctx, call,
+                    f"worker {worker.id!r} closes over self; pass explicit "
+                    "state through the items instead")
+
+
+@register
+class SharedStateMutation(Rule):
+    """RPP003: no ``global`` mutation and no shared-RNG default args."""
+
+    id = "RPP003"
+    title = "shared mutable state"
+    rationale = (
+        "`global` rebinding from inside a function and RNGs created in a "
+        "default argument are process-wide state: workers and repeated "
+        "calls share one stream, so results depend on call ordering. "
+        "Thread RNGs explicitly (repro.utils.rng.spawn).")
+
+    _RNG_FACTORIES = ("default_rng", "as_generator", "RandomState")
+
+    def _is_rng_factory(self, expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if isinstance(func, ast.Name):
+            return func.id in self._RNG_FACTORIES
+        if isinstance(func, ast.Attribute):
+            return func.attr in self._RNG_FACTORIES
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx, node,
+                    f"'global {', '.join(node.names)}' rebinds shared "
+                    "module state from a function; pass state explicitly")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Lambda)):
+                defaults = list(node.args.defaults)
+                defaults.extend(d for d in node.args.kw_defaults
+                                if d is not None)
+                for default in defaults:
+                    if self._is_rng_factory(default):
+                        yield self.finding(
+                            ctx, default,
+                            "RNG constructed in a default argument is "
+                            "shared across every call; default to None and "
+                            "coerce via repro.utils.rng.as_generator")

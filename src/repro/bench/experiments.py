@@ -33,8 +33,7 @@ from .asciiplot import ascii_heatmap, ascii_scatter
 from .svgplot import svg_grouped_bars, svg_heatmap, svg_line_chart
 from ..workloads.datasets import DATASET_LABELS, SCALE_UNITS, TABLE1
 from ..workloads.registry import WORKLOADS, get_workload
-from .figures import (RecallPoint, model_r2_scores, response_surface,
-                      selection_recall_sweep)
+from .figures import RecallPoint, response_surface
 from .harness import ComparisonStudy, StudyResult
 from .reporting import format_table, section
 

@@ -196,7 +196,7 @@ class ComparisonStudy:
                   for trial in range(self.trials)
                   for workload in self.workloads
                   for tuner_name in self.tuners]
-        sweep_records = parallel_map(self._run_sweep, sweeps,
+        sweep_records = parallel_map(self._run_sweep, sweeps,  # repro: noqa RPP002 -- ComparisonStudy is picklable by design (plain config attrs only); process-backend round-trip is covered by tests/bench/test_harness_parallel.py
                                      n_jobs=self.n_jobs,
                                      backend=self.parallel_backend)
         study = StudyResult()

@@ -220,7 +220,7 @@ def cmd_tune(args) -> int:
               f"{', resumed' if args.resume else ''})")
     if args.emit_conf:
         encoder = ConfigurationEncoder(space)
-        Path(args.emit_conf).write_text(
+        Path(args.emit_conf).write_text(  # repro: noqa RPF002 -- user-requested spark-defaults.conf export; a one-shot artifact after tuning ends, not evaluation state
             encoder.to_conf_file(result.best_config))
         print(f"best config written to {args.emit_conf}")
     return 0

@@ -27,7 +27,7 @@ import os
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, TextIO
 
 import numpy as np
 
@@ -39,7 +39,7 @@ __all__ = ["EvaluationJournal", "JournaledObjective", "EvalRecord"]
 _FORMAT_VERSION = 1
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     """Coerce numpy scalars/arrays that leak into configs or states."""
     if isinstance(value, np.generic):
         return value.item()
@@ -61,7 +61,7 @@ class EvalRecord:
     transient: bool
     fault: str | None
     attempts: int
-    rng_state: dict | None
+    rng_state: dict[str, Any] | None
 
     def to_evaluation(self) -> Evaluation:
         return Evaluation(
@@ -89,10 +89,10 @@ class EvaluationJournal:
         disable only in tests where speed matters more than durability).
     """
 
-    def __init__(self, path: str | Path, *, fsync: bool = True):
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
         self.path = Path(path)
         self._fsync = fsync
-        self._fh = None
+        self._fh: TextIO | None = None
 
     # -- writing ------------------------------------------------------------------
     def write_meta(self, meta: Mapping[str, Any]) -> None:
@@ -110,7 +110,7 @@ class EvaluationJournal:
                           **dict(meta)})
 
     def append(self, evaluation: Evaluation,
-               rng_state: dict | None = None) -> None:
+               rng_state: dict[str, Any] | None = None) -> None:
         """Durably record one finished evaluation."""
         self._write_line({
             "kind": "eval",
@@ -126,7 +126,7 @@ class EvaluationJournal:
             "rng_state": rng_state,
         })
 
-    def _write_line(self, payload: dict) -> None:
+    def _write_line(self, payload: dict[str, Any]) -> None:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
@@ -141,11 +141,11 @@ class EvaluationJournal:
             self._fh = None
 
     # -- reading ------------------------------------------------------------------
-    def load(self) -> tuple[dict, list[EvalRecord]]:
+    def load(self) -> tuple[dict[str, Any], list[EvalRecord]]:
         """(meta, records); parsing stops at the first corrupt line."""
         if not self.path.exists():
             raise FileNotFoundError(f"no journal at {self.path}")
-        meta: dict = {}
+        meta: dict[str, Any] = {}
         records: list[EvalRecord] = []
         with open(self.path, encoding="utf-8") as fh:
             for line in fh:
@@ -198,31 +198,31 @@ class JournaledObjective:
     drift) and raises immediately rather than returning wrong data.
     """
 
-    def __init__(self, objective, journal: EvaluationJournal, *,
-                 replay: list[EvalRecord] | None = None):
+    def __init__(self, objective: Any, journal: EvaluationJournal, *,
+                 replay: list[EvalRecord] | None = None) -> None:
         self._objective = objective
         self._journal = journal
-        self._shared = {"queue": deque(replay or ()),
+        self._shared: dict[str, Any] = {"queue": deque(replay or ()),
                         "restored": not replay,
                         "last_state": None,
                         "replayed": 0}
 
     # -- Objective protocol -------------------------------------------------------
     @property
-    def space(self):
+    def space(self) -> Any:
         return self._objective.space
 
     @property
     def time_limit_s(self) -> float:
         return self._objective.time_limit_s
 
-    def with_space(self, space) -> "JournaledObjective":
+    def with_space(self, space: Any) -> "JournaledObjective":
         clone = object.__new__(JournaledObjective)
         clone.__dict__ = dict(self.__dict__)
         clone._objective = self._objective.with_space(space)
         return clone
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.__dict__["_objective"], name)
 
     @property

@@ -68,7 +68,7 @@ class ParameterSelectionCache:
 
     def _flush(self) -> None:
         if self._path is not None:
-            self._path.write_text(json.dumps(self._table, indent=2))
+            self._path.write_text(json.dumps(self._table, indent=2))  # repro: noqa RPF002 -- memo table is a warm-start cache, not evaluation state: full-file idempotent rewrite, losing it only costs re-selection
 
 
 class ConfigMemoizationBuffer:
@@ -123,4 +123,4 @@ class ConfigMemoizationBuffer:
                  "dataset": m.dataset} for m in v]
             for k, v in self._table.items()
         }
-        self._path.write_text(json.dumps(raw, indent=2))
+        self._path.write_text(json.dumps(raw, indent=2))  # repro: noqa RPF002 -- memo buffer persistence is a warm-start cache (idempotent full rewrite), not journaled evaluation state

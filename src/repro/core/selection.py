@@ -10,7 +10,7 @@ whose permutation drops R² by at least the threshold (0.05, configurable —
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np

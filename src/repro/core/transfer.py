@@ -25,7 +25,6 @@ from scipy.stats import spearmanr
 from ..sampling.lhs import maximin_latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import Evaluation
-from ..utils.rng import as_generator
 
 __all__ = ["WorkloadMapper", "MappingResult"]
 

@@ -28,7 +28,7 @@ class ConfigurationEncoder:
         complete configuration.
     """
 
-    def __init__(self, space: ConfigSpace):
+    def __init__(self, space: ConfigSpace) -> None:
         self.space = space
         # Parameters by name over tunable + frozen, for formatting.
         self._formatters = {p.name: p for p in space.parameters}

@@ -58,7 +58,7 @@ class Parameter(ABC):
     """
 
     def __init__(self, name: str, default: Any, *, group: str | None = None,
-                 doc: str = ""):
+                 doc: str = "") -> None:
         if not name:
             raise ValueError("parameter name must be non-empty")
         self.name = name
@@ -106,7 +106,7 @@ class FloatParameter(Parameter):
     """A continuous parameter on ``[low, high]``, optionally log-scaled."""
 
     def __init__(self, name: str, low: float, high: float, default: float,
-                 *, log: bool = False, group: str | None = None, doc: str = ""):
+                 *, log: bool = False, group: str | None = None, doc: str = "") -> None:
         if not (low < high):
             raise ValueError(f"{name}: need low < high, got [{low}, {high}]")
         if log and low <= 0:
@@ -150,7 +150,7 @@ class IntParameter(Parameter):
     """An integer parameter on ``[low, high]`` inclusive, optionally log-scaled."""
 
     def __init__(self, name: str, low: int, high: int, default: int,
-                 *, log: bool = False, group: str | None = None, doc: str = ""):
+                 *, log: bool = False, group: str | None = None, doc: str = "") -> None:
         if not (low < high):
             raise ValueError(f"{name}: need low < high, got [{low}, {high}]")
         if log and low <= 0:
@@ -196,7 +196,7 @@ class BoolParameter(Parameter):
     """A boolean flag."""
 
     def __init__(self, name: str, default: bool, *, group: str | None = None,
-                 doc: str = ""):
+                 doc: str = "") -> None:
         super().__init__(name, bool(default), group=group, doc=doc)
 
     def from_unit(self, u: float) -> bool:
@@ -224,7 +224,7 @@ class CategoricalParameter(Parameter):
     """
 
     def __init__(self, name: str, choices: Sequence[Any], default: Any,
-                 *, group: str | None = None, doc: str = ""):
+                 *, group: str | None = None, doc: str = "") -> None:
         choices = list(choices)
         if len(choices) < 2:
             raise ValueError(f"{name}: need at least two choices")
@@ -265,7 +265,7 @@ class SizeParameter(IntParameter):
 
     def __init__(self, name: str, low: int, high: int, default: int,
                  *, unit: str = "m", log: bool = True,
-                 group: str | None = None, doc: str = ""):
+                 group: str | None = None, doc: str = "") -> None:
         if unit not in self._SUFFIX:
             raise ValueError(f"{name}: unsupported size unit {unit!r}")
         super().__init__(name, low, high, default, log=log, group=group, doc=doc)
@@ -285,7 +285,7 @@ class TimeParameter(IntParameter):
 
     def __init__(self, name: str, low: int, high: int, default: int,
                  *, unit: str = "s", log: bool = False,
-                 group: str | None = None, doc: str = ""):
+                 group: str | None = None, doc: str = "") -> None:
         if unit not in ("s", "ms"):
             raise ValueError(f"{name}: unsupported time unit {unit!r}")
         super().__init__(name, low, high, default, log=log, group=group, doc=doc)

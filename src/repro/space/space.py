@@ -35,7 +35,7 @@ class ConfigSpace:
     """
 
     def __init__(self, parameters: Sequence[Parameter],
-                 frozen: Mapping[str, Any] | None = None):
+                 frozen: Mapping[str, Any] | None = None) -> None:
         names = [p.name for p in parameters]
         if len(set(names)) != len(names):
             raise ValueError("duplicate parameter names in space")

@@ -9,7 +9,7 @@ and codec ratios at simulation time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["StageSpec", "CachedRDD", "InputSource", "CacheLevel"]
 

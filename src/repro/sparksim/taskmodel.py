@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from .cluster import NodeSpec
 from .conf import SparkConf
 from .disk import effective_disk_bw, shuffle_write_bw
-from .gcmodel import gc_slowdown
 from .network import remote_read_seconds
 from .serialization import CodecModel, SerializerModel
 

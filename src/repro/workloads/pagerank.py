@@ -11,7 +11,7 @@ finds PR benefits most from fine-grained exploitation.
 from __future__ import annotations
 
 from ..sparksim.stage import CachedRDD, CacheLevel, InputSource, StageSpec
-from .base import Dataset, Workload
+from .base import Workload
 
 __all__ = ["PageRank"]
 

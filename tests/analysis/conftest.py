@@ -1,0 +1,31 @@
+"""Fixtures for the invariant-linter tests.
+
+``lint`` writes a snippet to a tmp file at a chosen repo-relative path
+(the path matters: several rules scope by package) and returns every
+finding, including suppressed ones.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import analyze_file
+from repro.analysis.registry import build_rules
+
+#: Default fixture location: a decision-path module inside src/repro.
+DECISION_MODULE = "src/repro/core/fixture_mod.py"
+
+
+@pytest.fixture()
+def lint(tmp_path: Path):
+    def _lint(source: str, rel: str = DECISION_MODULE,
+              select=None, ignore=None):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        rules = build_rules(select=select, ignore=ignore)
+        return analyze_file(path, rules, display=path.as_posix())
+    return _lint

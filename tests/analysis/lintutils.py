@@ -1,0 +1,13 @@
+"""Shared helpers for the linter tests (imported by basedir insertion)."""
+
+from __future__ import annotations
+
+
+def rules_of(findings, rule_id: str):
+    """Findings for one rule id (suppressed included)."""
+    return [f for f in findings if f.rule == rule_id]
+
+
+def active(findings):
+    """Unsuppressed findings only."""
+    return [f for f in findings if not f.suppressed]

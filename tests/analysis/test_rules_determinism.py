@@ -1,0 +1,147 @@
+"""RPD rule pack: true positives, true negatives, suppressions."""
+
+from __future__ import annotations
+
+from lintutils import active, rules_of
+
+
+class TestGlobalNumpyRNG:
+    def test_flags_global_rng_call(self, lint):
+        findings = lint("""\
+            import numpy as np
+
+            def sample(n):
+                return np.random.rand(n)
+        """)
+        hits = rules_of(findings, "RPD001")
+        assert len(hits) == 1
+        assert hits[0].line == 4
+        assert "np.random.rand" in hits[0].message
+
+    def test_flags_seed_and_shuffle(self, lint):
+        findings = lint("""\
+            import numpy as np
+            np.random.seed(0)
+            np.random.shuffle([1, 2])
+        """)
+        assert len(rules_of(findings, "RPD001")) == 2
+
+    def test_flags_legacy_import(self, lint):
+        findings = lint("from numpy.random import randint\n")
+        assert len(rules_of(findings, "RPD001")) == 1
+
+    def test_allows_generator_api(self, lint):
+        findings = lint("""\
+            import numpy as np
+            from numpy.random import Generator, SeedSequence
+
+            def sample(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+        """)
+        assert rules_of(findings, "RPD001") == []
+
+    def test_suppression_with_justification(self, lint):
+        findings = lint("""\
+            import numpy as np
+            np.random.seed(0)  # repro: noqa RPD001 -- legacy comparison harness seeds once for a third-party baseline
+        """)
+        hits = rules_of(findings, "RPD001")
+        assert len(hits) == 1 and hits[0].suppressed
+        assert "third-party baseline" in hits[0].justification
+        assert active(findings) == []
+
+
+class TestStdlibRandom:
+    def test_flags_import(self, lint):
+        findings = lint("import random\n")
+        assert len(rules_of(findings, "RPD002")) == 1
+
+    def test_flags_import_from(self, lint):
+        findings = lint("from random import shuffle\n")
+        assert len(rules_of(findings, "RPD002")) == 1
+
+    def test_allows_own_modules_named_random(self, lint):
+        findings = lint("""\
+            from repro.sampling import random_sampling
+            from repro.tuners.random_search import RandomSearchTuner
+        """)
+        assert rules_of(findings, "RPD002") == []
+
+
+class TestWallClock:
+    def test_flags_time_in_decision_path(self, lint):
+        findings = lint("""\
+            import time
+
+            def decide():
+                return time.time()
+        """, rel="src/repro/tuners/fixture_mod.py")
+        hits = rules_of(findings, "RPD003")
+        assert len(hits) == 1
+        assert "time.time" in hits[0].message
+
+    def test_flags_perf_counter_and_datetime(self, lint):
+        findings = lint("""\
+            import time
+            from datetime import datetime
+
+            def decide():
+                return time.perf_counter(), datetime.now()
+        """, rel="src/repro/ml/fixture_mod.py")
+        assert len(rules_of(findings, "RPD003")) == 2
+
+    def test_allows_wall_clock_outside_decision_path(self, lint):
+        source = """\
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """
+        for rel in ("src/repro/bench/fixture_mod.py",
+                    "src/repro/sparksim/fixture_mod.py",
+                    "benchmarks/fixture_mod.py"):
+            assert rules_of(lint(source, rel=rel), "RPD003") == []
+
+    def test_allows_guard_wall_clock_accounting(self, lint):
+        findings = lint("""\
+            import time
+
+            def account():
+                return time.monotonic()
+        """, rel="src/repro/core/guard.py")
+        assert rules_of(findings, "RPD003") == []
+
+
+class TestUnorderedIteration:
+    def test_flags_for_over_set_call(self, lint):
+        findings = lint("""\
+            def tie_break(candidates):
+                for c in set(candidates):
+                    yield c
+        """)
+        assert len(rules_of(findings, "RPD004")) == 1
+
+    def test_flags_set_literal_and_comprehension(self, lint):
+        findings = lint("""\
+            def f(xs):
+                a = [x for x in {1, 2, 3}]
+                b = list({x for x in xs})
+                return a, b
+        """)
+        assert len(rules_of(findings, "RPD004")) == 2
+
+    def test_allows_sorted_set(self, lint):
+        findings = lint("""\
+            def tie_break(candidates):
+                for c in sorted(set(candidates)):
+                    yield c
+        """)
+        assert rules_of(findings, "RPD004") == []
+
+    def test_allows_dict_iteration(self, lint):
+        findings = lint("""\
+            def f(d):
+                return [k for k in d.keys()] + list(d.values())
+        """)
+        assert rules_of(findings, "RPD004") == []

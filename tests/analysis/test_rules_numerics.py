@@ -1,0 +1,132 @@
+"""RPN rule pack: true positives, true negatives, suppressions."""
+
+from __future__ import annotations
+
+from lintutils import active, rules_of
+
+
+class TestRawFactorizationOutsideGP:
+    def test_flags_cholesky_outside_gp(self, lint):
+        findings = lint("""\
+            import numpy as np
+
+            def fit(K):
+                return np.linalg.cholesky(K)
+        """)
+        hits = rules_of(findings, "RPN001")
+        assert len(hits) == 1
+        assert "cholesky" in hits[0].message
+
+    def test_flags_scipy_import(self, lint):
+        findings = lint("from scipy.linalg import cho_factor\n")
+        assert len(rules_of(findings, "RPN001")) == 1
+
+    def test_allows_inside_gp(self, lint):
+        findings = lint("""\
+            import numpy as np
+            from scipy.linalg import cho_factor, cho_solve
+
+            def fit(K):
+                return np.linalg.cholesky(K)
+        """, rel="src/repro/gp/fixture_mod.py")
+        assert rules_of(findings, "RPN001") == []
+
+    def test_allows_linalg_error_handling(self, lint):
+        findings = lint("""\
+            import numpy as np
+
+            def f(solve):
+                try:
+                    return solve()
+                except np.linalg.LinAlgError:
+                    return None
+        """)
+        assert rules_of(findings, "RPN001") == []
+
+    def test_outside_repro_package_is_exempt(self, lint):
+        findings = lint("""\
+            import numpy as np
+
+            def f(K):
+                return np.linalg.solve(K, K)
+        """, rel="benchmarks/fixture_mod.py")
+        assert rules_of(findings, "RPN001") == []
+
+
+class TestFloatLiteralEquality:
+    def test_flags_nonzero_float_equality(self, lint):
+        findings = lint("""\
+            def f(x):
+                return x == 0.5
+        """)
+        hits = rules_of(findings, "RPN002")
+        assert len(hits) == 1
+        assert "0.5" in hits[0].message
+
+    def test_flags_not_equal(self, lint):
+        findings = lint("""\
+            def f(x):
+                if x != 1.0:
+                    return x
+        """)
+        assert len(rules_of(findings, "RPN002")) == 1
+
+    def test_allows_exact_zero_degenerate_check(self, lint):
+        findings = lint("""\
+            def f(std):
+                if std == 0.0:
+                    return 1.0
+                return std
+        """)
+        assert rules_of(findings, "RPN002") == []
+
+    def test_allows_ordering_comparisons(self, lint):
+        findings = lint("""\
+            def f(x):
+                return x < 0.5 or x >= 1.5
+        """)
+        assert rules_of(findings, "RPN002") == []
+
+    def test_suppression(self, lint):
+        findings = lint("""\
+            def f(x):
+                return x == 0.25  # repro: noqa RPN002 -- 0.25 is exactly representable and set, never computed
+        """)
+        hits = rules_of(findings, "RPN002")
+        assert len(hits) == 1 and hits[0].suppressed
+        assert active(findings) == []
+
+
+class TestUnguardedStdDenominator:
+    def test_flags_division_by_raw_std(self, lint):
+        findings = lint("""\
+            def standardize(y):
+                return (y - y.mean()) / y.std()
+        """)
+        hits = rules_of(findings, "RPN003")
+        assert len(hits) == 1
+        assert "_safe_std" in hits[0].message
+
+    def test_flags_augmented_division(self, lint):
+        findings = lint("""\
+            import numpy as np
+
+            def standardize(y):
+                y /= np.asarray(y).std()
+                return y
+        """)
+        assert len(rules_of(findings, "RPN003")) == 1
+
+    def test_allows_guarded_helper(self, lint):
+        findings = lint("""\
+            def standardize(y, _safe_std):
+                return (y - y.mean()) / _safe_std(y)
+        """)
+        assert rules_of(findings, "RPN003") == []
+
+    def test_allows_std_outside_denominator(self, lint):
+        findings = lint("""\
+            def spread(y):
+                return float(y.std()) / 2.0
+        """)
+        assert rules_of(findings, "RPN003") == []

@@ -1,0 +1,88 @@
+"""Suppression syntax, RPA000 hygiene findings, and engine matching."""
+
+from __future__ import annotations
+
+from lintutils import active, rules_of
+
+from repro.analysis.suppressions import scan_suppressions
+
+
+class TestScanSuppressions:
+    def test_parses_well_formed_directive(self):
+        sups, problems = scan_suppressions(
+            "x = 1  # repro: noqa RPD001 -- baseline harness needs it\n")
+        assert problems == []
+        assert sups[1].rules == ("RPD001",)
+        assert sups[1].justification == "baseline harness needs it"
+
+    def test_parses_multiple_ids(self):
+        sups, _ = scan_suppressions(
+            "x = 1  # repro: noqa RPD001, RPF002 -- shared reason\n")
+        assert sups[1].rules == ("RPD001", "RPF002")
+
+    def test_missing_justification_is_a_problem(self):
+        sups, problems = scan_suppressions("x = 1  # repro: noqa RPD001\n")
+        assert sups == {}
+        assert len(problems) == 1
+        assert "justification" in problems[0].message
+
+    def test_missing_rule_id_is_a_problem(self):
+        _, problems = scan_suppressions("x = 1  # repro: noqa -- because\n")
+        assert len(problems) == 1
+        assert "no rule id" in problems[0].message
+
+    def test_marker_inside_string_is_ignored(self):
+        sups, problems = scan_suppressions(
+            's = "# repro: noqa RPD001 -- not a directive"\n')
+        assert sups == {} and problems == []
+
+
+class TestSuppressionHygieneRule:
+    def test_malformed_directive_is_rpa000(self, lint):
+        findings = lint("""\
+            import random  # repro: noqa RPD002
+        """)
+        hygiene = rules_of(findings, "RPA000")
+        assert len(hygiene) == 1
+        assert "justification" in hygiene[0].message
+        # The malformed directive does NOT silence the underlying finding.
+        assert len(active(rules_of(findings, "RPD002"))) == 1
+
+    def test_unknown_rule_id_is_rpa000(self, lint):
+        findings = lint("""\
+            x = 1  # repro: noqa RPZ999 -- no such rule
+        """)
+        hygiene = rules_of(findings, "RPA000")
+        assert len(hygiene) == 1
+        assert "RPZ999" in hygiene[0].message
+
+    def test_unused_suppression_is_rpa000(self, lint):
+        findings = lint("""\
+            x = 1  # repro: noqa RPD001 -- nothing to suppress here
+        """)
+        hygiene = rules_of(findings, "RPA000")
+        assert len(hygiene) == 1
+        assert "unused" in hygiene[0].message
+
+    def test_used_suppression_is_clean(self, lint):
+        findings = lint("""\
+            import random  # repro: noqa RPD002 -- exercising the machinery
+        """)
+        assert rules_of(findings, "RPA000") == []
+        assert active(findings) == []
+
+    def test_suppression_only_covers_named_rule(self, lint):
+        findings = lint("""\
+            import numpy as np
+            np.random.seed(0)  # repro: noqa RPD002 -- wrong rule named
+        """)
+        # RPD001 still fires (the noqa names RPD002), and the directive is
+        # flagged as unused.
+        assert len(active(rules_of(findings, "RPD001"))) == 1
+        assert len(rules_of(findings, "RPA000")) == 1
+
+    def test_syntax_error_reported_under_meta_rule(self, lint):
+        findings = lint("def broken(:\n")
+        hits = rules_of(findings, "RPA000")
+        assert len(hits) == 1
+        assert "does not parse" in hits[0].message

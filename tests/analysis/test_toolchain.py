@@ -1,0 +1,41 @@
+"""External toolchain gates (ruff, mypy): run them when available.
+
+The CI static-analysis job installs pinned versions and runs both; the
+offline dev container may not ship them, so these tests skip rather
+than fail when the tool is missing.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _module_available(name: str) -> bool:
+    return shutil.which(name) is not None or \
+        subprocess.run([sys.executable, "-m", name, "--version"],
+                       capture_output=True).returncode == 0
+
+
+@pytest.mark.skipif(not _module_available("ruff"),
+                    reason="ruff not installed in this environment")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "benchmarks"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _module_available("mypy"),
+                    reason="mypy not installed in this environment")
+def test_mypy_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
