@@ -144,6 +144,59 @@ class WallClockInDecisionPath(Rule):
                     "journaled outcomes")
 
 
+#: The monotonic-clock family: legitimate only inside the observability
+#: layer (``obs/``) and the guard's execution-time accounting.
+_MONOTONIC_FNS = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns",
+})
+
+
+@register
+class ClockOutsideObservability(Rule):
+    """RPD005: monotonic-clock reads outside obs/ and core/guard.py."""
+
+    id = "RPD005"
+    title = "monotonic clock outside the observability layer"
+    rationale = (
+        "All timing flows through the tracer (repro.obs), which takes an "
+        "injected clock: spans and tracer.timer() blocks are the sanctioned "
+        "way to measure a component, and they keep timing out of decision "
+        "paths and out of determinism tests.  A direct time.monotonic()/"
+        "perf_counter() call anywhere else creates a second, untraceable "
+        "timing source.  core/guard.py (the execution-time accountant) is "
+        "the single exemption.")
+
+    _ALLOWED_MODULES = ("core/guard.py",)
+
+    def _exempt(self, ctx: ModuleContext) -> bool:
+        sub = ctx.repro_subpath
+        if sub is None:      # tests, benchmarks, tools — out of scope
+            return True
+        return sub.startswith("obs/") or ctx.is_module(*self._ALLOWED_MODULES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (len(chain) >= 2 and chain[-2] == "time"
+                        and chain[-1] in _MONOTONIC_FNS):
+                    yield self.finding(
+                        ctx, node,
+                        f"direct {'.'.join(chain)}() call outside repro.obs; "
+                        "time the block with tracer.timer()/tracer.span() "
+                        "so the read stays inside the observability layer")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _MONOTONIC_FNS:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of time.{alias.name} outside repro.obs; "
+                            "use tracer.timer()/tracer.span() instead")
+
+
 def _is_unordered(expr: ast.expr) -> bool:
     if isinstance(expr, (ast.Set, ast.SetComp)):
         return True

@@ -16,9 +16,10 @@ from ..findings import Finding
 from ..registry import Rule, register
 
 #: Modules that own durable file output.  The journal is the only writer
-#: of evaluation state; everything else must either go through it or
-#: carry an explicit justification.
-_OWNED_IO_MODULES = ("core/journal.py",)
+#: of evaluation state and the trace sink is the only writer of trace
+#: records (it reuses the journal's fsync discipline); everything else
+#: must either go through them or carry an explicit justification.
+_OWNED_IO_MODULES = ("core/journal.py", "obs/sinks.py")
 
 
 def _is_swallow_body(body: list[ast.stmt]) -> bool:

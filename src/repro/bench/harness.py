@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -21,6 +22,7 @@ from ..core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from ..core.selection import ParameterSelector
 from ..core.tuner import ROBOTune
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..obs import JsonlTraceWriter, Tracer, load_trace, summarize
 from ..space.spark_params import spark_space
 from ..sparksim.cluster import ClusterSpec
 from ..tuners.base import Tuner, TuningResult
@@ -57,6 +59,7 @@ class SessionRecord:
     result: TuningResult | None = None
     n_transient: int = 0                    # fault-caused failures surfaced
     n_retries: int = 0                      # extra attempts spent on faults
+    trace_path: str | None = None           # JSONL trace (trace_dir studies)
 
 
 @dataclass
@@ -87,6 +90,16 @@ class StudyResult:
         if not recs:
             raise KeyError(f"no sessions for {tuner}/{workload}/{dataset}")
         return float(np.mean([r.search_cost_s for r in recs]))
+
+    def trace_summaries(self) -> list:
+        """Per-session :class:`~repro.obs.TraceSummary` objects.
+
+        Loads every record's JSONL trace (sessions run without a
+        ``trace_dir`` are skipped); feed the result to
+        :func:`repro.obs.render_aggregate` for the cross-tuner table.
+        """
+        return [summarize(load_trace(r.trace_path))
+                for r in self.records if r.trace_path]
 
 
 class ComparisonStudy:
@@ -122,6 +135,14 @@ class ComparisonStudy:
         :class:`~repro.core.tuner.ROBOTune` ``batch_size``); other
         tuners are unaffected.  The default 1 keeps the paper's serial
         loop.
+    trace_dir:
+        Directory for per-session JSONL traces.  Each session gets its
+        own file (``{tuner}-{workload}-{dataset}-trial{N}.jsonl``) and
+        its own :class:`~repro.obs.Tracer`, constructed inside the
+        session so the ``"process"`` backend never pickles one; the
+        record's ``trace_path`` points at the file and
+        :meth:`StudyResult.trace_summaries` folds them back up.  ``None``
+        (the default) traces nothing.
     """
 
     def __init__(self, *, budget: int = 100, trials: int = 5,
@@ -137,6 +158,7 @@ class ComparisonStudy:
                  n_jobs: int | None = None,
                  parallel_backend: str = "process",
                  batch_size: int = 1,
+                 trace_dir: str | Path | None = None,
                  base_seed: int = 0):
         if not 0.0 <= fault_rate <= 1.0:
             raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
@@ -161,6 +183,9 @@ class ComparisonStudy:
         self.selector_factory = selector_factory
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
+        # Stored as a plain string to keep the study picklable for the
+        # process backend.
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.base_seed = base_seed
         self.space = spark_space()
 
@@ -229,14 +254,29 @@ class ComparisonStudy:
         objective = WorkloadObjective(wl, self.space, cluster=self.cluster,
                                       time_limit_s=self.time_limit_s,
                                       rng=np.random.default_rng(seed + 1))
+        tracer = trace_path = None
+        if self.trace_dir:
+            directory = Path(self.trace_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            trace_path = str(directory / f"{tuner_name}-{workload}-{dataset}"
+                                         f"-trial{trial}.jsonl")
+            tracer = Tracer(JsonlTraceWriter(trace_path),
+                            meta={"tuner": tuner_name, "workload": workload,
+                                  "dataset": dataset, "trial": trial,
+                                  "budget": self.budget, "seed": int(seed)})
         if self.fault_rate > 0.0:
             retry = RetryPolicy(max_retries=self.retries) \
                 if self.retries else None
             objective = FaultInjector(
                 objective, FaultPlan(self.fault_rate, seed=seed + 2),
-                retry=retry)
+                retry=retry, tracer=tracer)
         tuner = self._make_tuner(tuner_name, rng, stores)
-        result = tuner.tune(objective, self.budget, rng=rng)
+        try:
+            result = tuner.tune(objective, self.budget, rng=rng,
+                                tracer=tracer)
+        finally:
+            if tracer is not None:
+                tracer.close()
         try:
             best_time_s = result.best_time_s
         except RuntimeError:
@@ -261,4 +301,5 @@ class ComparisonStudy:
             result=result if self.keep_results else None,
             n_transient=sum(e.transient for e in result.evaluations),
             n_retries=sum(e.attempts - 1 for e in result.evaluations),
+            trace_path=trace_path,
         )

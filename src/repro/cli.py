@@ -31,6 +31,8 @@ from .core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from .core.selection import ParameterSelector
 from .core.tuner import ROBOTune
 from .faults import FaultInjector, FaultPlan, RetryPolicy
+from .obs import (InMemorySink, JsonlTraceWriter, Tracer, render_aggregate,
+                  render_summary, summarize)
 from .space.encoder import ConfigurationEncoder
 from .space.spark_params import spark_space
 from .sparksim.analysis import TraceAnalyzer
@@ -68,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs(p_tune)
     _batch(p_tune)
     _resilience(p_tune)
+    p_tune.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a structured JSONL trace of the session "
+                             "(schema v1 — see docs/OBSERVABILITY.md); the "
+                             "file must not already exist")
+    p_tune.add_argument("--trace-summary", action="store_true",
+                        help="print the per-component fold-up (time "
+                             "breakdown, hedge trajectory, guard/memo/fault "
+                             "counts) after the run")
     p_tune.add_argument("--journal", default=None, metavar="FILE",
                         help="crash-safe evaluation journal (JSONL); every "
                              "finished evaluation is fsync'd so a killed "
@@ -82,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs(p_cmp)
     _batch(p_cmp)
     _resilience(p_cmp)
+    p_cmp.add_argument("--trace", default=None, metavar="DIR",
+                       help="write one JSONL trace per (tuner, trial) "
+                            "session into DIR")
+    p_cmp.add_argument("--trace-summary", action="store_true",
+                       help="print the cross-tuner trace aggregation table "
+                            "after the comparison")
 
     p_imp = sub.add_parser("importance", help="rank parameter importance")
     _common(p_imp)
@@ -156,13 +172,31 @@ def _validate_resilience(args) -> str | None:
     return None
 
 
-def _wrap_faults(objective, args, seed: int):
+def _wrap_faults(objective, args, seed: int, tracer=None):
     """Apply --faults/--retries to an objective (no-op at rate 0)."""
     if not getattr(args, "faults", 0.0):
         return objective
     retry = RetryPolicy(max_retries=args.retries) if args.retries else None
     return FaultInjector(objective, FaultPlan(args.faults, seed=seed),
-                         retry=retry)
+                         retry=retry, tracer=tracer)
+
+
+def _make_tracer(path, summary: bool, meta: dict):
+    """Tracer + in-memory sink for --trace/--trace-summary.
+
+    Returns ``(None, None)`` when both flags are off, so callers can pass
+    the tracer straight through (``tune(..., tracer=None)`` is the no-op
+    default).
+    """
+    if not path and not summary:
+        return None, None
+    sinks: list = []
+    if path:
+        sinks.append(JsonlTraceWriter(path))
+    mem = InMemorySink() if summary else None
+    if mem is not None:
+        sinks.append(mem)
+    return Tracer(sinks, meta=meta), mem
 
 
 # -- commands ----------------------------------------------------------------------
@@ -187,19 +221,31 @@ def cmd_tune(args) -> int:
         store.mkdir(parents=True, exist_ok=True)
         cache = ParameterSelectionCache(store / "selection_cache.json")
         memo = ConfigMemoizationBuffer(store / "memo_buffer.json")
-    objective = _wrap_faults(objective, args, args.seed)
+    try:
+        tracer, trace_mem = _make_tracer(
+            args.trace, args.trace_summary,
+            {"command": "tune", "tuner": "ROBOTune",
+             "workload": workload.full_key, "budget": args.budget,
+             "seed": args.seed})
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    objective = _wrap_faults(objective, args, args.seed, tracer)
     tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
                      n_jobs=args.jobs, batch_size=args.batch, rng=args.seed)
     if args.journal:
         journal = EvaluationJournal(args.journal)
         if args.resume:
             result = tuner.resume(objective, args.budget, journal,
-                                  rng=args.seed)
+                                  rng=args.seed, tracer=tracer)
         else:
             result = tuner.checkpoint(objective, args.budget, journal,
-                                      rng=args.seed)
+                                      rng=args.seed, tracer=tracer)
     else:
-        result = tuner.tune(objective, args.budget, rng=args.seed)
+        result = tuner.tune(objective, args.budget, rng=args.seed,
+                            tracer=tracer)
+    if tracer is not None:
+        tracer.close()
 
     print(f"workload:        {workload.full_key}")
     print(f"selection:       {'cache hit' if result.selection_cache_hit else 'cold'}"
@@ -223,6 +269,11 @@ def cmd_tune(args) -> int:
         Path(args.emit_conf).write_text(  # repro: noqa RPF002 -- user-requested spark-defaults.conf export; a one-shot artifact after tuning ends, not evaluation state
             encoder.to_conf_file(result.best_config))
         print(f"best config written to {args.emit_conf}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if trace_mem is not None:
+        print()
+        print(render_summary(summarize(trace_mem.records)))
     return 0
 
 
@@ -233,6 +284,10 @@ def cmd_compare(args) -> int:
               "BestConfig": lambda s: BestConfig(),
               "Gunther": lambda s: Gunther(),
               "RandomSearch": lambda s: RandomSearch()}
+    trace_dir = Path(args.trace) if args.trace else None
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    summaries = []
     rows = []
     baseline_cost = baseline_best = None
     for name, make in tuners.items():
@@ -242,8 +297,24 @@ def cmd_compare(args) -> int:
             objective = WorkloadObjective(
                 get_workload(args.workload, args.dataset), space,
                 rng=seed + 1)
-            objective = _wrap_faults(objective, args, seed + 2)
-            res = make(seed).tune(objective, args.budget, rng=seed)
+            try:
+                tracer, trace_mem = _make_tracer(
+                    trace_dir / f"{name}-trial{t}.jsonl"
+                    if trace_dir is not None else None,
+                    args.trace_summary,
+                    {"command": "compare", "tuner": name,
+                     "workload": f"{args.workload}/{args.dataset}",
+                     "trial": t, "budget": args.budget, "seed": seed})
+            except FileExistsError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            objective = _wrap_faults(objective, args, seed + 2, tracer)
+            res = make(seed).tune(objective, args.budget, rng=seed,
+                                  tracer=tracer)
+            if tracer is not None:
+                tracer.close()
+                if trace_mem is not None:
+                    summaries.append(summarize(trace_mem.records))
             try:
                 bests.append(res.best_time_s)
             except RuntimeError:
@@ -263,6 +334,11 @@ def cmd_compare(args) -> int:
         ["Tuner", "best (s)", "cost (min)", "best/RS", "cost/RS"], rows,
         title=f"{args.workload}/{args.dataset}, budget {args.budget}, "
               f"{args.trials} trial(s)"))
+    if trace_dir is not None:
+        print(f"traces written to {trace_dir}/")
+    if summaries:
+        print()
+        print(render_aggregate(summaries))
     return 0
 
 

@@ -21,6 +21,7 @@ from scipy.optimize import minimize
 
 from ..gp.gpr import GaussianProcessRegressor, default_bo_kernel
 from ..gp.kernels import Kernel
+from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import Evaluation
@@ -130,6 +131,13 @@ class BOEngine:
         Workers for GP multi-start fits and batched evaluation (``None``
         defers to ``ROBOTUNE_JOBS``).  Results are identical for any
         worker count.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  The loop emits
+        ``bo.iteration``/``eval.result``/``guard.kill`` events, the GP
+        emits ``gp.fit`` and the Hedge portfolio (whose ``tracer``
+        attribute is bound here when tracing is on) emits
+        ``hedge.probs``/``acq.winner``.  The default no-op tracer leaves
+        decisions bit-identical.
     """
 
     def __init__(self, *, kernel: Kernel | None = None,
@@ -139,7 +147,8 @@ class BOEngine:
                  incremental: bool = False, gradients: bool = False,
                  batch_size: int = 1, refine_starts: int = 4,
                  n_jobs: int | None = None,
-                 rng: np.random.Generator | int | None = None):
+                 rng: np.random.Generator | int | None = None,
+                 tracer=None):
         if n_candidates < 8:
             raise ValueError("n_candidates must be >= 8")
         if hyperopt_every < 1:
@@ -151,7 +160,10 @@ class BOEngine:
         self._kernel_template = kernel or default_bo_kernel()
         self._theta0 = self._kernel_template.theta.copy()
         self._rng = as_generator(rng)
+        self._tracer = as_tracer(tracer)
         self.hedge = hedge or GPHedge(rng=self._rng)
+        if tracer is not None:
+            self.hedge.tracer = self._tracer
         self.n_candidates = n_candidates
         self.hyperopt_every = hyperopt_every
         self.refine = refine
@@ -237,6 +249,12 @@ class BOEngine:
             y.append(float(ev.objective))
             if guard is not None:
                 guard.observe(ev.cost_s, ev.ok)
+            self._tracer.emit("eval.result", evaluation_data(it, ev))
+            self._tracer.count("evals")
+            if ev.truncated and threshold is not None:
+                self._tracer.emit("guard.kill",
+                                  {"i": it, "threshold": float(threshold),
+                                   "cost_s": float(ev.cost_s)})
 
             if choice is not None:
                 # Refit (cheap) and update Hedge gains with the posterior
@@ -260,6 +278,11 @@ class BOEngine:
                 else np.array([]),
                 point=u,
                 objective=ev.objective))
+            self._tracer.emit("bo.iteration", {
+                "iteration": it,
+                "acq": self.records[-1].chosen_acquisition,
+                "objective": float(ev.objective),
+                "fallback": choice is None})
 
             if ev.objective < best_so_far - 1e-9:
                 best_so_far = ev.objective
@@ -305,12 +328,19 @@ class BOEngine:
             # dispatch time (results still tighten it for the next round).
             threshold = guard.threshold_s() if guard is not None else None
             batch = self._evaluate_batch(evaluate, points, threshold)
-            for ev in batch:
+            for j, ev in enumerate(batch):
                 evals.append(ev)
                 X.append(np.asarray(ev.vector, dtype=float))
                 y.append(float(ev.objective))
                 if guard is not None:
                     guard.observe(ev.cost_s, ev.ok)
+                self._tracer.emit("eval.result", evaluation_data(it + j, ev))
+                self._tracer.count("evals")
+                if ev.truncated and threshold is not None:
+                    self._tracer.emit("guard.kill",
+                                      {"i": it + j,
+                                       "threshold": float(threshold),
+                                       "cost_s": float(ev.cost_s)})
 
             if any(c is not None for c in choices):
                 # Refit once on the real (lie-free) observations and score
@@ -339,6 +369,11 @@ class BOEngine:
                     if choice is not None else np.array([]),
                     point=u,
                     objective=ev.objective))
+                self._tracer.emit("bo.iteration", {
+                    "iteration": it + j,
+                    "acq": self.records[-1].chosen_acquisition,
+                    "objective": float(ev.objective),
+                    "fallback": choice is None})
                 if ev.objective < best_so_far - 1e-9:
                     best_so_far = ev.objective
                     since_improve = 0
@@ -418,7 +453,8 @@ class BOEngine:
                 return views[idx](points[idx], threshold)
 
             return parallel_map(_run, list(range(len(points))),
-                                n_jobs=self.n_jobs, backend="thread")
+                                n_jobs=self.n_jobs, backend="thread",
+                                tracer=self._tracer)
         return [evaluate(u, threshold) for u in points]
 
     # -- internals ------------------------------------------------------------------
@@ -440,7 +476,7 @@ class BOEngine:
                 kernel=self._kernel_template, normalize_y=True,
                 optimize=full, n_restarts=2,
                 analytic_gradients=self.gradients, n_jobs=self.n_jobs,
-                rng=self._rng)
+                rng=self._rng, tracer=self._tracer)
         gp = self._gp
         gp.optimize = full
         if (not full and gp._fitted and self._theta is not None

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import as_tracer
+
 __all__ = ["MedianGuard"]
 
 
@@ -24,11 +26,14 @@ class MedianGuard:
     min_observations:
         Observations required before the median rule activates; until
         then the static limit applies.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; every change of the computed
+        threshold is emitted as a ``guard.threshold`` event.
     """
 
     def __init__(self, multiplier: float = 3.0,
                  static_limit_s: float | None = None, *,
-                 min_observations: int = 5):
+                 min_observations: int = 5, tracer=None):
         if multiplier <= 1.0:
             raise ValueError("multiplier must exceed 1")
         if min_observations < 1:
@@ -36,7 +41,9 @@ class MedianGuard:
         self.multiplier = float(multiplier)
         self.static_limit_s = static_limit_s
         self.min_observations = min_observations
+        self.tracer = as_tracer(tracer)
         self._times: list[float] = []
+        self._last_emitted: float | None = None
 
     def observe(self, duration_s: float, ok: bool) -> None:
         """Record a finished evaluation (only successes shape the median)."""
@@ -46,8 +53,16 @@ class MedianGuard:
     def threshold_s(self) -> float | None:
         """Current kill threshold, or None for "no limit"."""
         if len(self._times) < self.min_observations:
-            return self.static_limit_s
-        t = float(np.median(self._times)) * self.multiplier
-        if self.static_limit_s is not None:
-            t = min(t, self.static_limit_s)
+            t = self.static_limit_s
+        else:
+            t = float(np.median(self._times)) * self.multiplier
+            if self.static_limit_s is not None:
+                t = min(t, self.static_limit_s)
+        if t is not None and t != self._last_emitted:
+            self._last_emitted = t
+            self.tracer.emit("guard.threshold",
+                             {"threshold_s": float(t),
+                              "observations": len(self._times),
+                              "median_rule":
+                                  len(self._times) >= self.min_observations})
         return t

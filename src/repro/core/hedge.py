@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import NULL_TRACER
 from ..utils.rng import as_generator
 from .acquisition import (AcquisitionFunction, ExpectedImprovement,
                           LowerConfidenceBound, ProbabilityOfImprovement)
@@ -57,6 +58,9 @@ class GPHedge:
         self.eta = float(eta)
         self.gains = np.zeros(len(self.functions))
         self._rng = as_generator(rng)
+        #: observation hook (set by BOEngine when a session is traced);
+        #: never consulted for decisions.
+        self.tracer = NULL_TRACER
 
     @property
     def names(self) -> list[str]:
@@ -75,6 +79,10 @@ class GPHedge:
             raise ValueError("one nominee row per portfolio function required")
         p = self.probabilities()
         idx = int(self._rng.choice(len(self.functions), p=p))
+        self.tracer.emit("hedge.probs", {"probs": p, "gains": self.gains,
+                                         "names": self.names})
+        self.tracer.emit("acq.winner", {"index": idx,
+                                        "name": self.functions[idx].name})
         return HedgeChoice(chosen_index=idx,
                            chosen_name=self.functions[idx].name,
                            nominees=nominees, probabilities=p)

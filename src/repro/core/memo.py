@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from ..obs import NULL_TRACER
+
 __all__ = ["ParameterSelectionCache", "ConfigMemoizationBuffer", "MemoizedConfig"]
 
 
@@ -40,6 +42,8 @@ class ParameterSelectionCache:
     def __init__(self, path: str | Path | None = None):
         self._path = Path(path) if path is not None else None
         self._table: dict[str, list[str]] = {}
+        #: observation hook (rebound per traced session by ROBOTune).
+        self.tracer = NULL_TRACER
         if self._path is not None and self._path.exists():
             self._table = {str(k): [str(p) for p in v]
                            for k, v in json.loads(self._path.read_text()).items()}
@@ -47,12 +51,22 @@ class ParameterSelectionCache:
     def get(self, workload: str) -> list[str] | None:
         """Selected parameters on a hit, None on a miss."""
         params = self._table.get(workload)
-        return list(params) if params is not None else None
+        if params is not None:
+            self.tracer.emit("memo.hit", {"store": "selection_cache",
+                                          "workload": workload,
+                                          "n": len(params)})
+            return list(params)
+        self.tracer.emit("memo.miss", {"store": "selection_cache",
+                                       "workload": workload})
+        return None
 
     def put(self, workload: str, parameters: list[str]) -> None:
         if not parameters:
             raise ValueError("refusing to cache an empty selection")
         self._table[workload] = list(parameters)
+        self.tracer.emit("memo.store", {"store": "selection_cache",
+                                        "workload": workload,
+                                        "n": len(parameters)})
         self._flush()
 
     def invalidate(self, workload: str) -> None:
@@ -84,6 +98,8 @@ class ConfigMemoizationBuffer:
         self.capacity = capacity
         self._path = Path(path) if path is not None else None
         self._table: dict[str, list[MemoizedConfig]] = {}
+        #: observation hook (rebound per traced session by ROBOTune).
+        self.tracer = NULL_TRACER
         if self._path is not None and self._path.exists():
             raw = json.loads(self._path.read_text())
             self._table = {
@@ -101,13 +117,26 @@ class ConfigMemoizationBuffer:
         bucket.append(entry)
         bucket.sort(key=lambda m: m.objective)
         del bucket[self.capacity:]
+        self.tracer.emit("memo.store", {"store": "config_buffer",
+                                        "workload": workload,
+                                        "objective": float(objective),
+                                        "kept": len(bucket)})
         self._flush()
 
     def best(self, workload: str, k: int = 4) -> list[MemoizedConfig]:
         """Up to *k* best remembered configs (empty list on a miss)."""
         if k < 0:
             raise ValueError("k must be >= 0")
-        return list(self._table.get(workload, ()))[:k]
+        found = list(self._table.get(workload, ()))[:k]
+        if k > 0:
+            if found:
+                self.tracer.emit("memo.hit", {"store": "config_buffer",
+                                              "workload": workload,
+                                              "n": len(found)})
+            else:
+                self.tracer.emit("memo.miss", {"store": "config_buffer",
+                                               "workload": workload})
+        return found
 
     def __contains__(self, workload: str) -> bool:
         return bool(self._table.get(workload))

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..ml.forest import RandomForestRegressor
 from ..ml.importance import GroupImportance, grouped_permutation_importance
+from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import Evaluation
@@ -92,29 +93,40 @@ class ParameterSelector:
     # -- sample collection -------------------------------------------------------
     def collect(self, evaluate: Callable[[np.ndarray, float | None], Evaluation],
                 space: ConfigSpace,
-                n_samples: int | None = None) -> list[Evaluation]:
+                n_samples: int | None = None,
+                tracer=None) -> list[Evaluation]:
         """Execute generic LHS samples (the one-time selection cost)."""
+        tracer = as_tracer(tracer)
         n = n_samples if n_samples is not None else self.n_samples
         U = latin_hypercube(n, space.dim, self._rng)
-        return [evaluate(u, None) for u in U]
+        evals = []
+        for i, u in enumerate(U):
+            ev = evaluate(u, None)
+            evals.append(ev)
+            tracer.emit("eval.result", evaluation_data(i, ev))
+            tracer.count("evals")
+        return evals
 
     # -- model + ranking -----------------------------------------------------------
     def select(self, space: ConfigSpace,
-               evaluations: Sequence[Evaluation]) -> SelectionResult:
+               evaluations: Sequence[Evaluation],
+               tracer=None) -> SelectionResult:
         """Rank parameter groups and apply the importance threshold."""
         if len(evaluations) < 10:
             raise ValueError("need at least 10 evaluations to select")
+        tracer = as_tracer(tracer)
         X = np.vstack([e.vector for e in evaluations])
         y = np.asarray([e.objective for e in evaluations])
         if self.log_target:
             y = np.log(np.maximum(y, 1e-9))
         forest = RandomForestRegressor(self.n_trees, max_features=0.5,
                                        n_jobs=self.n_jobs,
-                                       rng=self._rng).fit(X, y)
+                                       rng=self._rng,
+                                       tracer=tracer).fit(X, y)
         oob = forest.oob_score()
         importances = grouped_permutation_importance(
             forest, space.groups(), n_repeats=self.n_repeats,
-            n_jobs=self.n_jobs, rng=self._rng)
+            n_jobs=self.n_jobs, rng=self._rng, tracer=tracer)
 
         passed = [g for g in importances if g.importance >= self.threshold]
         if len(passed) < self.min_select:
@@ -128,6 +140,10 @@ class ParameterSelector:
             group_labels.append(g.group)
             names.extend(space.names[c] for c in g.columns)
         cost = float(sum(e.cost_s for e in evaluations))
+        tracer.emit("selection.params",
+                    {"selected": list(names), "groups": list(group_labels),
+                     "oob_r2": float(oob), "n_samples": len(evaluations),
+                     "cost_s": cost})
         return SelectionResult(
             selected=tuple(names),
             selected_groups=tuple(group_labels),
@@ -138,6 +154,7 @@ class ParameterSelector:
         )
 
     def run(self, evaluate: Callable[[np.ndarray, float | None], Evaluation],
-            space: ConfigSpace) -> SelectionResult:
+            space: ConfigSpace, tracer=None) -> SelectionResult:
         """Collect samples and select in one step."""
-        return self.select(space, self.collect(evaluate, space))
+        return self.select(space, self.collect(evaluate, space, tracer=tracer),
+                           tracer=tracer)

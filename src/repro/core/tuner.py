@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import maximin_latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import (Evaluation, Objective, Tuner, TuningResult,
@@ -121,10 +122,17 @@ class ROBOTune(Tuner):
 
     # -- main entry point ---------------------------------------------------------
     def tune(self, objective: Objective, budget: int,
-             rng: np.random.Generator | int | None = None) -> ROBOTuneResult:
+             rng: np.random.Generator | int | None = None,
+             tracer=None) -> ROBOTuneResult:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         rng = as_generator(rng) if rng is not None else self._rng
+        tracer = as_tracer(tracer)
+        # The stores are shared across sessions; rebind their observation
+        # hook every call so a traced session never leaks events into a
+        # closed tracer from a previous one.
+        self.selection_cache.tracer = tracer
+        self.memo_buffer.tracer = tracer
         space = objective.space
         wl = getattr(objective, "workload", None)
         cache_key = wl.key if wl is not None else ""
@@ -132,59 +140,78 @@ class ROBOTune(Tuner):
         result = ROBOTuneResult(tuner=self.name,
                                 workload=workload_key(objective))
 
-        # ---- memoized sampling: parameter-selection cache ---------------------
-        selected = self.selection_cache.get(cache_key) if cache_key else None
-        result.selection_cache_hit = selected is not None
-        if selected is None:
-            selector = self.selector or ParameterSelector(rng=rng,
-                                                          n_jobs=self.n_jobs)
-            sel_evals = selector.collect(objective, space)
-            sel = selector.select(space, sel_evals)
-            result.selection = sel
-            result.selection_evaluations = sel_evals
-            result.selection_cost_s = sel.cost_s
-            selected = list(sel.selected)
+        with tracer.span("tune", tuner=self.name, budget=int(budget)):
+            # ---- memoized sampling: parameter-selection cache -----------------
+            selected = self.selection_cache.get(cache_key) if cache_key \
+                else None
+            result.selection_cache_hit = selected is not None
+            if selected is None:
+                selector = self.selector or ParameterSelector(
+                    rng=rng, n_jobs=self.n_jobs)
+                with tracer.span("selection"):
+                    sel_evals = selector.collect(objective, space,
+                                                 tracer=tracer)
+                    sel = selector.select(space, sel_evals, tracer=tracer)
+                result.selection = sel
+                result.selection_evaluations = sel_evals
+                result.selection_cost_s = sel.cost_s
+                selected = list(sel.selected)
+                if cache_key:
+                    self.selection_cache.put(cache_key, selected)
+            else:
+                tracer.emit("selection.params",
+                            {"selected": list(selected), "groups": [],
+                             "oob_r2": None, "n_samples": 0, "cost_s": 0.0,
+                             "cached": True})
+            result.selected_parameters = list(selected)
+
+            # Pin the unselected (low-impact) parameters to the best complete
+            # configuration already known — the best selection sample on a
+            # cold run, the best memoized config on a warm one — rather than
+            # Spark defaults: the selection phase already paid for this
+            # information.
+            base = self._base_config(result, cache_key)
+            result.base_config = base
+            reduced = space.subspace([n for n in selected if n in space],
+                                     base=base)
+            result.reduced_space = reduced
+            reduced_objective = self._rebind(objective, reduced)
+
+            # ---- memoized sampling: initial training set ----------------------
+            init_vectors = self._initial_design(reduced, cache_key, budget,
+                                                rng, result)
+            init_evals: list[Evaluation] = []
+            with tracer.span("initial_design",
+                             memoized=int(result.memoized_used)):
+                for i, u in enumerate(init_vectors):
+                    ev = reduced_objective(u, None)
+                    init_evals.append(ev)
+                    tracer.emit("eval.result", evaluation_data(i, ev))
+                    tracer.count("evals")
+            result.evaluations.extend(init_evals)
+
+            # ---- BO engine ----------------------------------------------------
+            remaining = budget - len(init_evals)
+            if remaining > 0:
+                guard = MedianGuard(self.guard_multiplier,
+                                    static_limit_s=objective.time_limit_s,
+                                    tracer=tracer)
+                engine = BOEngine(rng=rng, tracer=tracer,
+                                  **self.engine_kwargs)
+                with tracer.span("bo", budget=int(remaining)):
+                    bo_evals = engine.minimize(reduced_objective, reduced,
+                                               init_evals, remaining, guard)
+                result.evaluations.extend(bo_evals)
+                result.bo_records = engine.records
+
+            # ---- memoize the well-tuned configurations ------------------------
             if cache_key:
-                self.selection_cache.put(cache_key, selected)
-        result.selected_parameters = list(selected)
-
-        # Pin the unselected (low-impact) parameters to the best complete
-        # configuration already known — the best selection sample on a cold
-        # run, the best memoized config on a warm one — rather than Spark
-        # defaults: the selection phase already paid for this information.
-        base = self._base_config(result, cache_key)
-        result.base_config = base
-        reduced = space.subspace([n for n in selected if n in space], base=base)
-        result.reduced_space = reduced
-        reduced_objective = self._rebind(objective, reduced)
-
-        # ---- memoized sampling: initial training set ----------------------------
-        init_vectors = self._initial_design(reduced, cache_key, budget, rng,
-                                            result)
-        init_evals: list[Evaluation] = []
-        for u in init_vectors:
-            init_evals.append(reduced_objective(u, None))
-        result.evaluations.extend(init_evals)
-
-        # ---- BO engine -------------------------------------------------------------
-        remaining = budget - len(init_evals)
-        if remaining > 0:
-            guard = MedianGuard(self.guard_multiplier,
-                                static_limit_s=objective.time_limit_s)
-            engine = BOEngine(rng=rng, **self.engine_kwargs)
-            bo_evals = engine.minimize(reduced_objective, reduced,
-                                       init_evals, remaining, guard)
-            result.evaluations.extend(bo_evals)
-            result.bo_records = engine.records
-
-        # ---- memoize the well-tuned configurations ------------------------------------
-        if cache_key:
-            ok = sorted((e for e in result.evaluations if e.ok),
-                        key=lambda e: e.objective)
-            dataset = wl.dataset.label if wl is not None else ""
-            for e in ok[: self.store_results]:
-                self.memo_buffer.add(cache_key, e.config, e.objective,
-                                     dataset=dataset)
+                ok = sorted((e for e in result.evaluations if e.ok),
+                            key=lambda e: e.objective)
+                dataset = wl.dataset.label if wl is not None else ""
+                for e in ok[: self.store_results]:
+                    self.memo_buffer.add(cache_key, e.config, e.objective,
+                                         dataset=dataset)
         return result
 
     # -- helpers ---------------------------------------------------------------------

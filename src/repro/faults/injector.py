@@ -34,6 +34,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from ..obs import as_tracer
 from ..sparksim.result import RunStatus
 from ..tuners.base import Evaluation
 from .plan import FaultEvent, FaultPlan
@@ -55,13 +56,18 @@ class FaultInjector:
     retry:
         Retry policy for transient outcomes; ``None`` returns the first
         attempt unconditionally.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; every injected fault emits a
+        ``fault.injected`` event and every retry a ``retry.attempt``
+        event.  Shared by ``with_space`` views, like the counters.
     """
 
     def __init__(self, objective, plan: FaultPlan,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None, tracer=None):
         self._objective = objective
         self.plan = plan
         self.retry = retry
+        self.tracer = as_tracer(tracer)
         # Shared across with_space views so the evaluation index (the
         # fault plan's coordinate) is global to the tuning session.
         self._shared = {"index": 0, "injected": 0, "transient": 0,
@@ -113,6 +119,10 @@ class FaultInjector:
                 spent += ev.cost_s + wait
                 self._shared["retries"] += 1
                 self._shared["backoff_s"] += wait
+                self.tracer.emit("retry.attempt",
+                                 {"index": index, "attempt": attempt,
+                                  "wait_s": float(wait)})
+                self.tracer.count("retries")
                 continue
             break
         if ev.transient:
@@ -128,6 +138,10 @@ class FaultInjector:
         if event is None:
             return ev
         self._shared["injected"] += 1
+        self.tracer.emit("fault.injected",
+                         {"index": index, "attempt": attempt,
+                          "kind": event.kind, "aborts": bool(event.aborts)})
+        self.tracer.count("faults.injected")
         if not ev.ok:
             # Config-caused failure dominates: the fault changes nothing
             # the tuner should learn from.

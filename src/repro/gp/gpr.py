@@ -16,6 +16,7 @@ import numpy as np
 from scipy.linalg import cho_factor, cho_solve, solve_triangular
 from scipy.optimize import minimize
 
+from ..obs import as_tracer
 from ..utils.parallel import parallel_map
 from ..utils.rng import as_generator
 from .kernels import ConstantKernel, Kernel, Matern52, WhiteKernel, _cdist_sq
@@ -68,13 +69,20 @@ class GaussianProcessRegressor:
         defers to ``ROBOTUNE_JOBS``).  Each restart runs on a private
         kernel copy and winners are chosen in start order, so the fitted
         model is identical for any worker count.
+    tracer:
+        Optional :class:`repro.obs.Tracer`: each (re)fit emits a
+        ``gp.fit`` event and accumulates in the ``gp.fit`` timer;
+        :meth:`predict` calls bump the ``gp.predict``/``gp.predict.points``
+        counters.  The hot :meth:`fast_predict` path is deliberately left
+        uninstrumented.
     """
 
     def __init__(self, kernel: Kernel | None = None, *, alpha: float = 1e-10,
                  normalize_y: bool = True, n_restarts: int = 2,
                  optimize: bool = True, analytic_gradients: bool = False,
                  n_jobs: int | None = None,
-                 rng: np.random.Generator | int | None = None):
+                 rng: np.random.Generator | int | None = None,
+                 tracer=None):
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         self.kernel = copy.deepcopy(kernel) if kernel is not None \
@@ -86,6 +94,7 @@ class GaussianProcessRegressor:
         self.analytic_gradients = analytic_gradients
         self.n_jobs = n_jobs
         self.rng = rng
+        self.tracer = as_tracer(tracer)
         self._fitted = False
 
     # -- fitting ------------------------------------------------------------------
@@ -104,10 +113,16 @@ class GaussianProcessRegressor:
         self._d2 = _cdist_sq(X, X)
         self._normalize_targets(y)
 
-        if self.optimize and X.shape[0] >= 2:
-            self._optimize_theta()
-        self._precompute()
+        optimized = self.optimize and X.shape[0] >= 2
+        with self.tracer.timer("gp.fit"):
+            if optimized:
+                self._optimize_theta()
+            self._precompute()
         self._fitted = True
+        self.tracer.emit("gp.fit", {"n": int(X.shape[0]),
+                                    "optimized": bool(optimized),
+                                    "incremental": False,
+                                    "theta": self.kernel.theta})
         return self
 
     def update(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
@@ -160,6 +175,10 @@ class GaussianProcessRegressor:
         self._X = X
         self._normalize_targets(y)
         self._weights = cho_solve(self._chol, self._y)
+        self.tracer.emit("gp.fit", {"n": int(X.shape[0]),
+                                    "optimized": False,
+                                    "incremental": True,
+                                    "theta": self.kernel.theta})
         return self
 
     def _extend_cholesky(self, X_new: np.ndarray) -> bool:
@@ -297,7 +316,7 @@ class GaussianProcessRegressor:
             return float(res.fun), res.x
 
         results = parallel_map(_run_start, starts, n_jobs=self.n_jobs,
-                               backend="thread")
+                               backend="thread", tracer=self.tracer)
         best_theta, best_nll = self.kernel.theta, np.inf
         for fun, x in results:
             if fun < best_nll:
@@ -333,6 +352,8 @@ class GaussianProcessRegressor:
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
             raise ValueError(f"X must have shape (n, {self._X.shape[1]})")
+        self.tracer.count("gp.predict")
+        self.tracer.count("gp.predict.points", X.shape[0])
         Ks = self.kernel(X, self._X)
         mean = Ks @ self._weights
         mean = mean * self._y_std + self._y_mean

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import as_tracer
 from ..utils.parallel import parallel_map, resolve_n_jobs
 from ..utils.rng import as_generator, spawn
 from .metrics import r2_score
@@ -59,7 +60,8 @@ class _BaseForestRegressor:
                  bootstrap: bool = True,
                  n_jobs: int | None = None,
                  parallel_backend: str = "process",
-                 rng: np.random.Generator | int | None = None):
+                 rng: np.random.Generator | int | None = None,
+                 tracer=None):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         self.n_estimators = n_estimators
@@ -71,6 +73,7 @@ class _BaseForestRegressor:
         self.n_jobs = n_jobs
         self.parallel_backend = parallel_backend
         self.rng = rng
+        self.tracer = as_tracer(tracer)
         self._fitted = False
 
     # -- fitting ------------------------------------------------------------------
@@ -90,9 +93,14 @@ class _BaseForestRegressor:
                       max_features=self.max_features)
         tasks = [(X, y, params, self._splitter, crng, self.bootstrap)
                  for crng in child_rngs]
-        fitted = parallel_map(_fit_tree_job, tasks,
-                              n_jobs=resolve_n_jobs(self.n_jobs),
-                              backend=self.parallel_backend)
+        with self.tracer.timer("forest.fit"):
+            fitted = parallel_map(_fit_tree_job, tasks,
+                                  n_jobs=resolve_n_jobs(self.n_jobs),
+                                  backend=self.parallel_backend,
+                                  tracer=self.tracer)
+        self.tracer.emit("forest.fit", {"trees": int(self.n_estimators),
+                                        "n": int(n),
+                                        "features": int(X.shape[1])})
         self.trees_ = [tree for tree, _ in fitted]
         # oob_mask_[t, i] is True when sample i is out-of-bag for tree t.
         self.oob_mask_ = np.zeros((self.n_estimators, n), dtype=bool)

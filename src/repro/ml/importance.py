@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs import as_tracer
 from ..utils.parallel import parallel_map
 from ..utils.rng import as_generator
 from .forest import _BaseForestRegressor
@@ -117,6 +118,7 @@ def grouped_permutation_importance(
         rng: np.random.Generator | int | None = None,
         n_jobs: int | None = None,
         batched: bool = True,
+        tracer=None,
 ) -> list[GroupImportance]:
     """Grouped MDA importances from a fitted bootstrap forest.
 
@@ -138,6 +140,11 @@ def grouped_permutation_importance(
         Use the single-pass batched OOB scorer (default).  ``False``
         selects the reference per-repeat loop; both produce bit-identical
         importances.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; scoring time accumulates in
+        the ``importance`` timer and the group fan-out is recorded via
+        :func:`repro.utils.parallel.parallel_map`'s ``parallel.map``
+        event.
 
     Returns
     -------
@@ -146,6 +153,7 @@ def grouped_permutation_importance(
     if n_repeats < 1:
         raise ValueError("n_repeats must be >= 1")
     rng = as_generator(rng)
+    tracer = as_tracer(tracer)
     X = forest._X_train
     baseline = forest.oob_score()
     n = X.shape[0]
@@ -176,7 +184,8 @@ def grouped_permutation_importance(
             std=float(drops.std(ddof=1)) if n_repeats > 1 else 0.0,
         )
 
-    results = parallel_map(score_group, tasks, n_jobs=n_jobs,
-                           backend="thread")
+    with tracer.timer("importance"):
+        results = parallel_map(score_group, tasks, n_jobs=n_jobs,
+                               backend="thread", tracer=tracer)
     results.sort(key=lambda g: g.importance, reverse=True)
     return results

@@ -157,20 +157,27 @@ class TuningResult:
 
 
 class Tuner(ABC):
-    """A budgeted configuration tuner."""
+    """A budgeted configuration tuner.
+
+    Every tuner accepts an optional ``tracer`` (see :mod:`repro.obs`):
+    instrumentation hooks record decisions and timings to it, and the
+    default :data:`~repro.obs.NULL_TRACER` makes every hook a no-op, so
+    decision sequences are bit-identical with tracing on or off.
+    """
 
     #: display name used in reports, e.g. ``"ROBOTune"``.
     name: str = ""
 
     @abstractmethod
     def tune(self, objective: Objective, budget: int,
-             rng: np.random.Generator | int | None = None) -> TuningResult:
+             rng: np.random.Generator | int | None = None,
+             tracer=None) -> TuningResult:
         """Run one tuning session of at most *budget* evaluations."""
 
     # -- crash-safe journaling (docs/ROBUSTNESS.md) -------------------------------
     def checkpoint(self, objective: Objective, budget: int, journal,
-                   rng: np.random.Generator | int | None = None
-                   ) -> TuningResult:
+                   rng: np.random.Generator | int | None = None,
+                   tracer=None) -> TuningResult:
         """:meth:`tune`, with every evaluation journaled as it completes.
 
         *journal* is an :class:`~repro.core.journal.EvaluationJournal` or a
@@ -186,10 +193,11 @@ class Tuner(ABC):
                             "workload": workload_key(objective),
                             "budget": int(budget)})
         return self.tune(JournaledObjective(objective, journal), budget,
-                         rng=rng)
+                         rng=rng, tracer=tracer)
 
     def resume(self, objective: Objective, budget: int, journal,
-               rng: np.random.Generator | int | None = None) -> TuningResult:
+               rng: np.random.Generator | int | None = None,
+               tracer=None) -> TuningResult:
         """Resume a killed :meth:`checkpoint` session from its journal.
 
         Re-runs the tuning session with the same *rng* seed, serving the
@@ -213,4 +221,5 @@ class Tuner(ABC):
                 f"journal belongs to workload {meta['workload']!r}, "
                 f"not {wl!r}")
         return self.tune(JournaledObjective(objective, journal,
-                                            replay=records), budget, rng=rng)
+                                            replay=records), budget, rng=rng,
+                         tracer=tracer)

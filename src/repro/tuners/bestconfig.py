@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import latin_hypercube
 from ..utils.rng import as_generator
 from .base import Evaluation, Objective, Tuner, TuningResult, workload_key
@@ -58,37 +59,51 @@ class BestConfig(Tuner):
         self.threshold_scale = threshold_scale
 
     def tune(self, objective: Objective, budget: int,
-             rng: np.random.Generator | int | None = None) -> TuningResult:
+             rng: np.random.Generator | int | None = None,
+             tracer=None) -> TuningResult:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         rng = as_generator(rng)
+        tracer = as_tracer(tracer)
         result = TuningResult(tuner=self.name, workload=workload_key(objective))
         dim = objective.space.dim
         lo = np.zeros(dim)
         hi = np.ones(dim)
         threshold = self.static_threshold_s
 
-        remaining = budget
-        while remaining > 0:
-            n = min(self.round_size, remaining)
-            # DDS inside the current bounds: stratified per-parameter
-            # intervals with diverged (permuted) combinations.
-            samples = lo + latin_hypercube(n, dim, rng) * (hi - lo)
-            round_evals: list[Evaluation] = []
-            for u in samples:
-                ev = objective(u, threshold)
-                result.evaluations.append(ev)
-                round_evals.append(ev)
-                best = self._best_time(result)
-                if best is not None:
-                    # Adaptive runtime threshold.
-                    adaptive = best * self.threshold_scale
-                    threshold = adaptive if self.static_threshold_s is None \
-                        else min(self.static_threshold_s, adaptive)
-            remaining -= n
-            if remaining <= 0:
-                break
-            lo, hi = self._bound(round_evals, lo, hi)
+        with tracer.span("tune", tuner=self.name, budget=int(budget)):
+            remaining = budget
+            while remaining > 0:
+                n = min(self.round_size, remaining)
+                # DDS inside the current bounds: stratified per-parameter
+                # intervals with diverged (permuted) combinations.
+                samples = lo + latin_hypercube(n, dim, rng) * (hi - lo)
+                round_evals: list[Evaluation] = []
+                for u in samples:
+                    ev = objective(u, threshold)
+                    i = len(result.evaluations)
+                    result.evaluations.append(ev)
+                    round_evals.append(ev)
+                    tracer.emit("eval.result", evaluation_data(i, ev))
+                    tracer.count("evals")
+                    if ev.truncated and threshold is not None:
+                        tracer.emit("guard.kill",
+                                    {"i": i, "threshold": float(threshold),
+                                     "cost_s": float(ev.cost_s)})
+                    best = self._best_time(result)
+                    if best is not None:
+                        # Adaptive runtime threshold.
+                        adaptive = best * self.threshold_scale
+                        threshold = adaptive \
+                            if self.static_threshold_s is None \
+                            else min(self.static_threshold_s, adaptive)
+                remaining -= n
+                if remaining <= 0:
+                    break
+                lo, hi = self._bound(round_evals, lo, hi)
+                tracer.emit("bestconfig.bound",
+                            {"lo": lo, "hi": hi,
+                             "volume": float(np.prod(hi - lo))})
 
         return result
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import as_tracer, evaluation_data
 from ..sampling.random_sampling import uniform_samples
 from ..utils.rng import as_generator
 from .base import Objective, Tuner, TuningResult, workload_key
@@ -66,10 +67,12 @@ class Gunther(Tuner):
         return max(4, min(pop, budget // 2 if budget >= 8 else budget))
 
     def tune(self, objective: Objective, budget: int,
-             rng: np.random.Generator | int | None = None) -> TuningResult:
+             rng: np.random.Generator | int | None = None,
+             tracer=None) -> TuningResult:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         rng = as_generator(rng)
+        tracer = as_tracer(tracer)
         result = TuningResult(tuner=self.name, workload=workload_key(objective))
         dim = objective.space.dim
         pop_size = self._population_size(dim, budget)
@@ -81,36 +84,49 @@ class Gunther(Tuner):
                     fitness[i:] = np.inf
                     return fitness
                 ev = objective(u, self.static_threshold_s)
+                idx = len(result.evaluations)
                 result.evaluations.append(ev)
+                tracer.emit("eval.result", evaluation_data(idx, ev))
+                tracer.count("evals")
                 fitness[i] = ev.objective if ev.ok else np.inf
             return fitness
 
-        # Random initial population — a significant share of the budget,
-        # which §5.2 identifies as Gunther's exploration/exploitation
-        # imbalance.
-        pop = uniform_samples(min(pop_size, budget), dim, rng)
-        fit = evaluate(pop)
+        with tracer.span("tune", tuner=self.name, budget=int(budget)):
+            # Random initial population — a significant share of the
+            # budget, which §5.2 identifies as Gunther's
+            # exploration/exploitation imbalance.
+            pop = uniform_samples(min(pop_size, budget), dim, rng)
+            fit = evaluate(pop)
 
-        while len(result.evaluations) < budget:
-            order = np.argsort(fit)
-            n_keep = max(2, int(len(pop) * self.survivor_fraction))
-            elite = pop[order[:n_keep]]
-            n_children = min(pop_size, budget - len(result.evaluations))
-            children = np.empty((n_children, dim))
-            for c in range(n_children):
-                pa, pb = elite[rng.integers(0, n_keep, size=2)]
-                mask = rng.random(dim) < 0.5       # uniform crossover
-                child = np.where(mask, pa, pb)
-                mutate = rng.random(dim) < self.mutation_rate
-                child = child + mutate * rng.normal(0.0, self.mutation_sigma,
-                                                    size=dim)
-                children[c] = np.clip(child, 0.0, 1.0)
-            child_fit = evaluate(children)
-            # Generational replacement with elitism: survivors + children
-            # compete for the next generation.
-            pool = np.vstack([elite, children])
-            pool_fit = np.concatenate([fit[order[:n_keep]], child_fit])
-            order = np.argsort(pool_fit)[:pop_size]
-            pop, fit = pool[order], pool_fit[order]
+            generation = 0
+            while len(result.evaluations) < budget:
+                order = np.argsort(fit)
+                n_keep = max(2, int(len(pop) * self.survivor_fraction))
+                elite = pop[order[:n_keep]]
+                n_children = min(pop_size, budget - len(result.evaluations))
+                children = np.empty((n_children, dim))
+                for c in range(n_children):
+                    pa, pb = elite[rng.integers(0, n_keep, size=2)]
+                    mask = rng.random(dim) < 0.5       # uniform crossover
+                    child = np.where(mask, pa, pb)
+                    mutate = rng.random(dim) < self.mutation_rate
+                    child = child + mutate * rng.normal(
+                        0.0, self.mutation_sigma, size=dim)
+                    children[c] = np.clip(child, 0.0, 1.0)
+                child_fit = evaluate(children)
+                # Generational replacement with elitism: survivors +
+                # children compete for the next generation.
+                pool = np.vstack([elite, children])
+                pool_fit = np.concatenate([fit[order[:n_keep]], child_fit])
+                order = np.argsort(pool_fit)[:pop_size]
+                pop, fit = pool[order], pool_fit[order]
+                generation += 1
+                finite = fit[np.isfinite(fit)]
+                tracer.emit("gunther.generation",
+                            {"generation": generation,
+                             "survivors": int(n_keep),
+                             "children": int(n_children),
+                             "best_fitness": float(finite.min())
+                             if finite.size else None})
 
         return result

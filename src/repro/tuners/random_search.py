@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import as_tracer, evaluation_data
 from ..sampling.random_sampling import uniform_samples
 from ..utils.rng import as_generator
 from .base import Objective, Tuner, TuningResult, workload_key
@@ -32,12 +33,18 @@ class RandomSearch(Tuner):
         self.static_threshold_s = static_threshold_s
 
     def tune(self, objective: Objective, budget: int,
-             rng: np.random.Generator | int | None = None) -> TuningResult:
+             rng: np.random.Generator | int | None = None,
+             tracer=None) -> TuningResult:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         rng = as_generator(rng)
+        tracer = as_tracer(tracer)
         result = TuningResult(tuner=self.name, workload=workload_key(objective))
         U = uniform_samples(budget, objective.space.dim, rng)
-        for u in U:
-            result.evaluations.append(objective(u, self.static_threshold_s))
+        with tracer.span("tune", tuner=self.name, budget=int(budget)):
+            for i, u in enumerate(U):
+                ev = objective(u, self.static_threshold_s)
+                result.evaluations.append(ev)
+                tracer.emit("eval.result", evaluation_data(i, ev))
+                tracer.count("evals")
         return result

@@ -25,6 +25,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, TypeVar
 
+from ..obs import NULL_TRACER
+
 __all__ = ["ENV_JOBS", "available_cpus", "resolve_n_jobs", "parallel_map"]
 
 ENV_JOBS = "ROBOTUNE_JOBS"
@@ -68,7 +70,7 @@ def resolve_n_jobs(n_jobs: int | None = None) -> int:
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
                  n_jobs: int | None = None, backend: str = "thread",
-                 chunksize: int | None = None) -> list[R]:
+                 chunksize: int | None = None, tracer=None) -> list[R]:
     """Map *fn* over *items*, optionally across a worker pool.
 
     Parameters
@@ -88,21 +90,32 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
     chunksize:
         Items per process-pool task (ignored by the thread backend);
         defaults to spreading items evenly over the workers.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; each call emits one
+        ``parallel.map`` event (resolved worker count and backend) and
+        accumulates its elapsed time in the ``parallel.map`` timer.  The
+        clock read happens inside the tracer, so this module itself
+        never touches timing (rule RPD005).
 
     Returns results in input order.  Exceptions raised by *fn* propagate
     to the caller (the first one encountered in input order).
     """
     if backend not in _BACKENDS:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    tracer = NULL_TRACER if tracer is None else tracer
     items = list(items)
     jobs = resolve_n_jobs(n_jobs)
-    if backend == "serial" or jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    workers = min(jobs, len(items))
-    if backend == "thread":
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
-    if chunksize is None:
-        chunksize = max(1, len(items) // (workers * 2))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+    serial = backend == "serial" or jobs == 1 or len(items) <= 1
+    workers = 1 if serial else min(jobs, len(items))
+    tracer.emit("parallel.map", {"items": len(items), "workers": workers,
+                                 "backend": "serial" if serial else backend})
+    with tracer.timer("parallel.map"):
+        if serial:
+            return [fn(item) for item in items]
+        if backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items))
+        if chunksize is None:
+            chunksize = max(1, len(items) // (workers * 2))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))

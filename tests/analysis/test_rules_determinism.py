@@ -113,6 +113,78 @@ class TestWallClock:
         assert rules_of(findings, "RPD003") == []
 
 
+class TestClockOutsideObservability:
+    def test_flags_monotonic_call_anywhere_in_repro(self, lint):
+        findings = lint("""\
+            import time
+
+            def measure():
+                return time.monotonic()
+        """, rel="src/repro/utils/fixture_mod.py")
+        hits = rules_of(findings, "RPD005")
+        assert len(hits) == 1
+        assert "time.monotonic" in hits[0].message
+        assert "tracer.timer" in hits[0].message
+
+    def test_flags_perf_counter_in_non_decision_packages(self, lint):
+        """RPD003 stops at the decision path; RPD005 covers the rest."""
+        source = """\
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """
+        for rel in ("src/repro/bench/fixture_mod.py",
+                    "src/repro/sparksim/fixture_mod.py",
+                    "src/repro/faults/fixture_mod.py"):
+            assert len(rules_of(lint(source, rel=rel), "RPD005")) == 1
+
+    def test_flags_from_import(self, lint):
+        findings = lint("from time import perf_counter\n",
+                        rel="src/repro/utils/fixture_mod.py")
+        assert len(rules_of(findings, "RPD005")) == 1
+
+    def test_allows_the_observability_layer(self, lint):
+        source = """\
+            import time
+
+            def stamp():
+                return time.monotonic()
+        """
+        for rel in ("src/repro/obs/tracer.py", "src/repro/obs/fixture_mod.py"):
+            assert rules_of(lint(source, rel=rel), "RPD005") == []
+
+    def test_allows_guard_accounting(self, lint):
+        findings = lint("""\
+            import time
+
+            def account():
+                return time.monotonic()
+        """, rel="src/repro/core/guard.py")
+        assert rules_of(findings, "RPD005") == []
+
+    def test_allows_non_monotonic_time_and_outside_repro(self, lint):
+        # time.time() is RPD003's business (decision path only), and
+        # code outside src/repro is out of scope entirely.
+        assert rules_of(lint("""\
+            import time
+            t = time.time()
+        """, rel="src/repro/bench/fixture_mod.py"), "RPD005") == []
+        assert rules_of(lint("""\
+            import time
+            t = time.monotonic()
+        """, rel="benchmarks/fixture_mod.py"), "RPD005") == []
+
+    def test_suppression_with_justification(self, lint):
+        findings = lint("""\
+            import time
+            t0 = time.monotonic()  # repro: noqa RPD005 -- bootstrap timing before any tracer exists
+        """, rel="src/repro/utils/fixture_mod.py")
+        hits = rules_of(findings, "RPD005")
+        assert len(hits) == 1 and hits[0].suppressed
+        assert active(findings) == []
+
+
 class TestUnorderedIteration:
     def test_flags_for_over_set_call(self, lint):
         findings = lint("""\

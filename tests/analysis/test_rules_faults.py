@@ -98,6 +98,14 @@ class TestRawFileWrite:
         """, rel="src/repro/core/journal.py")
         assert rules_of(findings, "RPF002") == []
 
+    def test_trace_sink_module_is_exempt(self, lint):
+        findings = lint("""\
+            def _append(path, payload):
+                fh = open(path, "a", encoding="utf-8")
+                fh.write(payload)
+        """, rel="src/repro/obs/sinks.py")
+        assert rules_of(findings, "RPF002") == []
+
     def test_outside_repro_package_is_exempt(self, lint):
         findings = lint("""\
             from pathlib import Path

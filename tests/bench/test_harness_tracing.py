@@ -1,0 +1,54 @@
+"""ComparisonStudy trace_dir: per-session JSONL traces + aggregation."""
+
+import pytest
+
+from repro.bench import ComparisonStudy
+from repro.obs import load_trace, render_aggregate, validate_trace
+
+
+@pytest.fixture(scope="module")
+def traced_study(tmp_path_factory):
+    trace_dir = tmp_path_factory.mktemp("traces")
+    study = ComparisonStudy(budget=10, trials=1, workloads=["terasort"],
+                            datasets=["D1", "D2"],
+                            tuners=["RandomSearch", "BestConfig"],
+                            fault_rate=0.15, base_seed=3,
+                            trace_dir=trace_dir).run()
+    return study, trace_dir
+
+
+class TestTraceDir:
+    def test_every_session_gets_a_valid_trace(self, traced_study):
+        study, trace_dir = traced_study
+        assert len(study.records) == 4
+        for rec in study.records:
+            assert rec.trace_path is not None
+            assert (f"{rec.tuner}-{rec.workload}-{rec.dataset}"
+                    f"-trial{rec.trial}.jsonl") in rec.trace_path
+            records = load_trace(rec.trace_path)
+            assert validate_trace(records) == []
+            meta = records[0]
+            assert meta["tuner"] == rec.tuner
+            assert meta["dataset"] == rec.dataset
+
+    def test_trace_eval_count_matches_the_session(self, traced_study):
+        study, _ = traced_study
+        for rec in study.records:
+            events = [r for r in load_trace(rec.trace_path)
+                      if r.get("kind") == "event"
+                      and r["type"] == "eval.result"]
+            assert len(events) == len(rec.statuses) == 10
+
+    def test_trace_summaries_feed_the_aggregate(self, traced_study):
+        study, _ = traced_study
+        summaries = study.trace_summaries()
+        assert len(summaries) == 4
+        table = render_aggregate(summaries)
+        assert "RandomSearch" in table and "BestConfig" in table
+
+    def test_untraced_study_has_no_trace_paths(self):
+        study = ComparisonStudy(budget=5, trials=1, workloads=["terasort"],
+                                datasets=["D1"], tuners=["RandomSearch"],
+                                base_seed=0).run()
+        assert study.records[0].trace_path is None
+        assert study.trace_summaries() == []

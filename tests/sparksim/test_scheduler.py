@@ -51,12 +51,37 @@ class TestFastScheduler:
         d = np.exp(rng.normal(0.0, 0.15, n))
         fast = list_schedule_fast(d, slots)
         exact = list_schedule_exact(d, slots)
-        # The wave approximation never undershoots the dynamic greedy
-        # schedule by more than noise and overshoots by at most a modest
-        # relative factor plus one straggler.  (10% undershoot slack:
-        # hypothesis finds rare seeds where bin-packing luck puts the
-        # greedy schedule ~6-8% above the wave estimate.)
-        assert fast >= exact * 0.90 - 1e-9
+        # Lower bound: a theorem, not a tuned constant.  The wave estimate
+        # is max(per-slot sums) >= sum/m with m = min(slots, n), and greedy
+        # list scheduling obeys Graham's bound
+        #     exact <= sum/m + (1 - 1/m) * dmax,
+        # so fast >= exact - (1 - 1/m) * dmax for *every* input.  Earlier
+        # revisions asserted fast >= 0.90 * exact, but no multiplicative
+        # constant is sound under hypothesis's full search: an exhaustive
+        # scan of this strategy's domain found fast/exact = 0.8823 at
+        # (n=49, slots=29, seed=9597), where bin-packing luck lets the
+        # greedy schedule beat the rigid i % slots wave assignment.
+        # Typical-case tightness is covered by the derandomized profile
+        # test below and by test_mean_relative_gap_small.
+        m = min(slots, n)
+        assert fast >= exact - (1 - 1 / m) * d.max() - 1e-9
+        assert fast <= exact * 1.25 + d.max() + 1e-9
+
+    # Regimes: serial, slot-rich, balanced, many-wave, n == slots, and a
+    # ragged final wave.  Each triple was checked to sit above 0.95 with
+    # margin, so this guards typical-case accuracy deterministically while
+    # the hypothesis test above guards the provable worst case.
+    @pytest.mark.parametrize("n,slots,seed", [
+        (1, 1, 0), (5, 8, 1), (20, 4, 2), (50, 16, 3), (100, 32, 4),
+        (200, 8, 5), (37, 37, 6), (150, 1, 7), (64, 15, 8), (300, 32, 9),
+        (10, 3, 10), (48, 12, 11),
+    ])
+    def test_profile_accuracy(self, n, slots, seed):
+        rng = np.random.default_rng(seed)
+        d = np.exp(rng.normal(0.0, 0.15, n))
+        fast = list_schedule_fast(d, slots)
+        exact = list_schedule_exact(d, slots)
+        assert fast >= exact * 0.95 - 1e-9
         assert fast <= exact * 1.25 + d.max() + 1e-9
 
     def test_mean_relative_gap_small(self):
