@@ -256,6 +256,92 @@ def test_batch_bo_vs_serial_rounds(capsys):
     assert batched <= serial / 2.0  # measured ~4x; 2x is the criterion
 
 
+class _DispersedSleepObjective(SyntheticObjective):
+    """Latency-dispersed stand-in for cluster runs: each configuration
+    sleeps a different amount (0.1–0.3 s derived from the vector), so
+    asynchronous completion order genuinely interleaves instead of
+    degenerating into lockstep rounds."""
+
+    def __call__(self, u, time_limit_s=None):
+        time.sleep(0.1 + 0.2 * float(np.asarray(u).mean()))
+        return super().__call__(u, time_limit_s)
+
+
+def test_async_bo_throughput_scaling(capsys):
+    """Async engine throughput at k = 1, 2, 4, 8 workers.
+
+    The perf gate: k=4 must complete the same budget at >= 2x the serial
+    engine's throughput (evaluations are latency-bound, so folding
+    completions without a round barrier overlaps the waiting).  k=1 is
+    recorded as the parity-mode overhead measurement, k=8 as the
+    saturation point (budget 12 leaves little depth beyond 4 workers).
+    """
+    budget = 12
+
+    def run(async_workers):
+        space = synthetic_space(4)
+        objective = _DispersedSleepObjective(space, n_effective=3,
+                                             noise=0.01, rng=24)
+        initial = [objective(u) for u in latin_hypercube(8, 4, rng=24)]
+        engine = BOEngine(rng=25, n_candidates=64, refine=False,
+                          async_workers=async_workers)
+        t0 = time.perf_counter()
+        evals = engine.minimize(objective, space, initial, budget=budget)
+        assert len(evals) == budget
+        return time.perf_counter() - t0
+
+    serial = run(0)
+    _record_bo("bo_async_serial_b12_dispersed", serial, n=budget)
+    with capsys.disabled():
+        print(f"\nasync BO scaling (budget {budget}, 100-300ms/eval): "
+              f"serial {serial:.3f}s", end="")
+        walls = {}
+        for k in (1, 2, 4, 8):
+            walls[k] = run(k)
+            _record_bo(f"bo_async_k{k}_b12_dispersed", walls[k], n=budget,
+                       speedup=serial / walls[k])
+            print(f", k={k} {walls[k]:.3f}s ({serial / walls[k]:.1f}x)",
+                  end="")
+        print()
+    assert walls[1] <= serial * 1.5   # parity mode: no pool, no overhead
+    assert walls[4] <= serial / 2.0   # the throughput gate (measured ~3x)
+
+
+def test_sparksim_run_batch_vs_scalar_loop(capsys):
+    """Vectorized batch simulation vs the scalar run() loop, 64 configs.
+
+    ``run_batch`` shares the stage arithmetic across the whole batch in
+    NumPy; the contract is bit-identity (tests/sparksim/test_batch_parity
+    .py), this benchmark records what that sharing buys.
+    """
+    from repro.sparksim import SparkSimulator
+    from repro.utils.rng import spawn
+
+    space = spark_space()
+    sim = SparkSimulator()
+    stages = get_workload("terasort", "D1").build_stages()
+    rng = np.random.default_rng(26)
+    confs = [space.decode(rng.random(space.dim)) for _ in range(64)]
+
+    def scalar():
+        rngs = spawn(np.random.default_rng(27), len(confs))
+        return [sim.run(stages, c, rng=r, time_limit_s=480.0)
+                for c, r in zip(confs, rngs)]
+
+    def batch():
+        rngs = spawn(np.random.default_rng(27), len(confs))
+        return sim.run_batch(stages, confs, rngs=rngs, time_limit_s=480.0)
+
+    s = _time(scalar, repeats=3)
+    b = _time(batch, repeats=3)
+    _record_bo("sparksim_scalar_loop_64cfg_terasort", s, n=64)
+    _record_bo("sparksim_run_batch_64cfg_terasort", b, n=64, speedup=s / b)
+    with capsys.disabled():
+        print(f"sparksim 64 configs (terasort/D1): scalar {s * 1e3:.1f}ms "
+              f"vs run_batch {b * 1e3:.1f}ms ({s / b:.1f}x)")
+    assert b <= s * 1.2  # batch path must never be slower (slack for noise)
+
+
 def test_zzy_write_bo_engine_file(capsys):
     existing = []
     if BO_BENCH_FILE.exists():

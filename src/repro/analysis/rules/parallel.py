@@ -130,6 +130,83 @@ class WorkerClosesOverSelf(Rule):
                     "state through the items instead")
 
 
+def _submit_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"):
+            yield node
+
+
+def _self_attribute(expr: ast.AST) -> str | None:
+    """The attribute name when *expr* is rooted at ``self.<attr>...``."""
+    while isinstance(expr, (ast.Subscript, ast.Attribute)):
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return expr.attr
+        expr = expr.value
+    return None
+
+
+@register
+class WorkerMutatesEngineState(Rule):
+    """RPP004: submitted workers must not mutate shared engine state."""
+
+    id = "RPP004"
+    title = "worker callable mutates self"
+    rationale = (
+        "A callable handed to a pool's submit() runs on a worker thread; "
+        "writing self.<attr> from it races the engine loop and makes "
+        "results depend on completion order, breaking the async engine's "
+        "determinism contract. Workers return results; all shared-state "
+        "mutation belongs in the engine's fold-in method, on the "
+        "collecting side of next_completed().")
+
+    #: Methods that mutate their receiver in place.
+    _MUTATORS = ("append", "extend", "add", "update", "pop", "remove",
+                 "insert", "clear", "setdefault")
+
+    def _mutations(self, body: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(body):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    attr = _self_attribute(target)
+                    if attr is not None:
+                        yield node, f"assigns self.{attr}"
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._MUTATORS):
+                attr = _self_attribute(node.func.value)
+                if attr is not None:
+                    yield node, f"calls self.{attr}.{node.func.attr}()"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        nested = _nested_function_defs(ctx.tree)
+        for call in _submit_calls(ctx.tree):
+            if not call.args:
+                continue
+            worker = call.args[0]
+            if isinstance(worker, ast.Lambda):
+                body: ast.AST | None = worker.body
+                label = "lambda"
+            elif isinstance(worker, ast.Name) and worker.id in nested:
+                body = nested[worker.id]
+                label = repr(worker.id)
+            else:
+                body = None
+            if body is None:
+                continue
+            for node, what in self._mutations(body):
+                yield self.finding(
+                    ctx, node,
+                    f"worker {label} submitted to a pool {what}; workers "
+                    "must return results and leave shared-state mutation "
+                    "to the engine's fold-in method")
+
+
 @register
 class SharedStateMutation(Rule):
     """RPP003: no ``global`` mutation and no shared-RNG default args."""

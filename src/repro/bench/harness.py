@@ -135,6 +135,11 @@ class ComparisonStudy:
         :class:`~repro.core.tuner.ROBOTune` ``batch_size``); other
         tuners are unaffected.  The default 1 keeps the paper's serial
         loop.
+    async_workers:
+        Asynchronous BO worker count for ROBOTune sessions (see
+        :class:`~repro.core.tuner.ROBOTune` ``async_workers``); other
+        tuners are unaffected.  Mutually exclusive with
+        ``batch_size > 1``.
     trace_dir:
         Directory for per-session JSONL traces.  Each session gets its
         own file (``{tuner}-{workload}-{dataset}-trial{N}.jsonl``) and
@@ -158,6 +163,7 @@ class ComparisonStudy:
                  n_jobs: int | None = None,
                  parallel_backend: str = "process",
                  batch_size: int = 1,
+                 async_workers: int = 0,
                  trace_dir: str | Path | None = None,
                  base_seed: int = 0):
         if not 0.0 <= fault_rate <= 1.0:
@@ -166,9 +172,15 @@ class ComparisonStudy:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if async_workers < 0:
+            raise ValueError(f"async_workers must be >= 0, got {async_workers}")
+        if async_workers > 0 and batch_size > 1:
+            raise ValueError("async_workers and batch_size > 1 are mutually "
+                             "exclusive")
         self.fault_rate = fault_rate
         self.retries = retries
         self.batch_size = batch_size
+        self.async_workers = async_workers
         self.budget = budget
         self.trials = trials
         self.workloads = list(workloads or all_workload_names())
@@ -198,7 +210,8 @@ class ComparisonStudy:
             return ROBOTune(selector=selector,
                             selection_cache=stores["cache"],
                             memo_buffer=stores["memo"],
-                            batch_size=self.batch_size, rng=rng)
+                            batch_size=self.batch_size,
+                            async_workers=self.async_workers, rng=rng)
         if name == "BestConfig":
             return BestConfig()
         if name == "Gunther":

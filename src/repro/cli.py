@@ -138,6 +138,13 @@ def _batch(p: argparse.ArgumentParser) -> None:
                         "the paper's serial loop); Q > 1 proposes "
                         "constant-liar batches and runs them concurrently "
                         "under --jobs workers — see docs/PERFORMANCE.md")
+    p.add_argument("--async-workers", type=int, default=0, metavar="K",
+                   dest="async_workers",
+                   help="asynchronous BO worker count (default: 0 = the "
+                        "synchronous loop); K >= 1 keeps K evaluations in "
+                        "flight with busy-point penalization and folds "
+                        "completions in as they land; mutually exclusive "
+                        "with --batch > 1 — see docs/PERFORMANCE.md")
 
 
 def _resilience(p: argparse.ArgumentParser) -> None:
@@ -155,6 +162,10 @@ def _validate_resilience(args) -> str | None:
     """Fail-fast message for bad resilience flags, or None when valid."""
     if getattr(args, "batch", 1) < 1:
         return f"--batch must be >= 1, got {args.batch}"
+    if getattr(args, "async_workers", 0) < 0:
+        return f"--async-workers must be >= 0, got {args.async_workers}"
+    if getattr(args, "async_workers", 0) > 0 and getattr(args, "batch", 1) > 1:
+        return "--async-workers and --batch > 1 are mutually exclusive"
     if hasattr(args, "faults") and not 0.0 <= args.faults <= 1.0:
         return f"--faults rate must be in [0, 1], got {args.faults}"
     if hasattr(args, "retries") and args.retries < 0:
@@ -232,7 +243,8 @@ def cmd_tune(args) -> int:
         return 2
     objective = _wrap_faults(objective, args, args.seed, tracer)
     tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
-                     n_jobs=args.jobs, batch_size=args.batch, rng=args.seed)
+                     n_jobs=args.jobs, batch_size=args.batch,
+                     async_workers=args.async_workers, rng=args.seed)
     if args.journal:
         journal = EvaluationJournal(args.journal)
         if args.resume:
@@ -280,7 +292,9 @@ def cmd_tune(args) -> int:
 def cmd_compare(args) -> int:
     space = spark_space()
     tuners = {"ROBOTune": lambda s: ROBOTune(n_jobs=args.jobs,
-                                             batch_size=args.batch, rng=s),
+                                             batch_size=args.batch,
+                                             async_workers=args.async_workers,
+                                             rng=s),
               "BestConfig": lambda s: BestConfig(),
               "Gunther": lambda s: Gunther(),
               "RandomSearch": lambda s: RandomSearch()}

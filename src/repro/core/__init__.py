@@ -10,6 +10,7 @@ from .acquisition import (
 )
 from .bo import BOEngine, BOIterationRecord
 from .guard import MedianGuard
+from .penalize import LocalPenalizer
 from .hedge import GPHedge, HedgeChoice
 from .journal import EvalRecord, EvaluationJournal, JournaledObjective
 from .memo import ConfigMemoizationBuffer, MemoizedConfig, ParameterSelectionCache
@@ -28,6 +29,7 @@ __all__ = [
     "HedgeChoice",
     "BOEngine",
     "BOIterationRecord",
+    "LocalPenalizer",
     "MedianGuard",
     "EvaluationJournal",
     "JournaledObjective",

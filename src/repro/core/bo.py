@@ -13,6 +13,7 @@ L-BFGS-B refinement of the best candidate.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -25,10 +26,11 @@ from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import Evaluation
-from ..utils.parallel import parallel_map
+from ..utils.parallel import WorkerPool, parallel_map
 from ..utils.rng import as_generator
 from .guard import MedianGuard
 from .hedge import GPHedge
+from .penalize import LocalPenalizer
 
 __all__ = ["BOEngine", "BOIterationRecord"]
 
@@ -124,6 +126,22 @@ class BOEngine:
         entries, fault accounting and Hedge gains are still charged per
         point).  ``batch_size=1`` (the default) is the paper's serial
         Algorithm 1, decision-for-decision.
+    async_workers:
+        Fully asynchronous mode: keep up to k evaluations in flight on a
+        :class:`repro.utils.parallel.WorkerPool`, fold each completed
+        evaluation into the GP immediately, and draw the replacement
+        proposal with busy-point penalization over the in-flight set
+        (:class:`repro.core.penalize.LocalPenalizer`) instead of
+        constant-liar fantasies — no worker ever waits on a round
+        barrier.  ``0`` (the default) keeps the synchronous engine;
+        ``async_workers=1`` executes exactly the serial loop's decision
+        sequence (no pending points, objective called directly), which
+        tests pin bit-for-bit.  ``k > 1`` requires the objective to
+        expose class-level ``spawn_view()``; otherwise the engine warns,
+        counts a ``batch.serial_fallback``, and degrades to one worker.
+        Mutually exclusive with ``batch_size > 1``.  See
+        docs/PERFORMANCE.md for when to prefer async over constant-liar
+        batching.
     refine_starts:
         Sweep candidates polished per acquisition when ``gradients`` is
         on (the gradient refinement is cheap enough to multi-start).
@@ -145,7 +163,8 @@ class BOEngine:
                  hyperopt_every: int = 5, refine: bool = True,
                  early_stop_patience: int | None = None,
                  incremental: bool = False, gradients: bool = False,
-                 batch_size: int = 1, refine_starts: int = 4,
+                 batch_size: int = 1, async_workers: int = 0,
+                 refine_starts: int = 4,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None,
                  tracer=None):
@@ -155,6 +174,11 @@ class BOEngine:
             raise ValueError("hyperopt_every must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if async_workers < 0:
+            raise ValueError("async_workers must be >= 0")
+        if async_workers > 0 and batch_size > 1:
+            raise ValueError("async_workers and batch_size > 1 are mutually "
+                             "exclusive: async replaces constant-liar rounds")
         if refine_starts < 1:
             raise ValueError("refine_starts must be >= 1")
         self._kernel_template = kernel or default_bo_kernel()
@@ -171,7 +195,9 @@ class BOEngine:
         self.incremental = incremental
         self.gradients = gradients
         self.batch_size = batch_size
+        self.async_workers = async_workers
         self.refine_starts = refine_starts
+        self._warned_serial = False
         self.n_jobs = n_jobs
         self.records: list[BOIterationRecord] = []
         #: iterations that fell back to an LHS proposal because the GP
@@ -207,6 +233,9 @@ class BOEngine:
         """
         if budget < 0:
             raise ValueError("budget must be >= 0")
+        if self.async_workers > 0:
+            return self._minimize_async(evaluate, space, initial, budget,
+                                        guard)
         if self.batch_size > 1:
             return self._minimize_batched(evaluate, space, initial, budget,
                                           guard)
@@ -293,6 +322,204 @@ class BOEngine:
                         and since_improve >= self.early_stop_patience):
                     break
         return evals
+
+    # -- asynchronous mode ---------------------------------------------------------
+    def _minimize_async(self, evaluate, space: ConfigSpace,
+                        initial: Sequence[Evaluation], budget: int,
+                        guard: MedianGuard | None) -> list[Evaluation]:
+        """Barrier-free variant of :meth:`minimize` (``async_workers=k``).
+
+        Up to k evaluations are in flight at once; the moment one
+        completes it is folded into the GP (observations, guard, Hedge
+        gains, records — the same per-point bookkeeping as the serial
+        loop, in completion order) and a replacement proposal is drawn
+        with the still-pending points locally penalized out of the
+        acquisition surface.  At ``k=1`` there is never a pending point
+        and the objective is called directly, so the decision sequence is
+        bit-identical to the serial loop (pinned by the head-parity
+        tests).  At ``k>1`` results depend on completion order — the
+        price of never idling a worker.
+
+        Observability: ``async.dispatch``/``async.fold`` events carry the
+        in-flight depth, the ``async.wait`` timer accumulates queue wait
+        (blocked on the pool), ``async.propose`` the proposal time during
+        which free workers idle, and the ``async.idle_worker_slots``
+        counter the number of worker slots empty at each dispatch.
+        """
+        evals: list[Evaluation] = []
+        X = [np.asarray(e.vector, dtype=float) for e in initial]
+        y = [float(e.objective) for e in initial]
+        if guard is not None:
+            for e in initial:
+                guard.observe(e.cost_s, e.ok)
+        if not X:
+            raise ValueError("BO requires at least one prior observation")
+
+        k = self.async_workers
+        if k > 1 and getattr(type(evaluate), "spawn_view", None) is None:
+            self._warn_serial_fallback(evaluate, k)
+            k = 1
+        # One worker needs no thread: the serial pool backend runs the
+        # submitted task inside next_completed(), on this thread, which
+        # also keeps the k=1 parity contract trivially exact.
+        backend = "thread" if k > 1 else "serial"
+
+        since_improve = 0
+        best_so_far = min(y)
+        pending: dict[int, np.ndarray] = {}
+        choices: dict[int, object] = {}
+        thresholds: dict[int, float | None] = {}
+        issued = 0
+        folded = 0
+        stop = False
+        with WorkerPool(k, backend=backend, tracer=self._tracer) as pool:
+            while folded < budget:
+                while not stop and issued < budget and len(pending) < k:
+                    self._tracer.count("async.idle_worker_slots",
+                                       k - len(pending))
+                    with self._tracer.timer("async.propose"):
+                        u, choice = self._propose(space, X, y, len(evals),
+                                                  list(pending.values()))
+                    threshold = guard.threshold_s() if guard is not None \
+                        else None
+                    # Views are spawned serially at dispatch time (the
+                    # spawn_view contract); one worker evaluates directly.
+                    runner = evaluate.spawn_view() if k > 1 else evaluate
+                    idx = issued
+                    pending[idx] = u
+                    choices[idx] = choice
+                    thresholds[idx] = threshold
+                    pool.submit(lambda r=runner, v=u, t=threshold: r(v, t),
+                                tag=idx)
+                    issued += 1
+                    self._tracer.emit("async.dispatch",
+                                      {"i": idx, "in_flight": len(pending)})
+                if not pending:
+                    break
+                with self._tracer.timer("async.wait"):
+                    idx, ev = pool.next_completed()
+                u = pending.pop(idx)
+                choice = choices.pop(idx)
+                threshold = thresholds.pop(idx)
+                self._fold_in(ev, u, choice, threshold, folded, evals, X, y,
+                              guard)
+                self._tracer.emit("async.fold",
+                                  {"i": idx, "in_flight": len(pending)})
+                folded += 1
+                if ev.objective < best_so_far - 1e-9:
+                    best_so_far = ev.objective
+                    since_improve = 0
+                else:
+                    since_improve += 1
+                    if (self.early_stop_patience is not None
+                            and since_improve >= self.early_stop_patience):
+                        # Stop issuing; in-flight evaluations still fold
+                        # (their cost is already paid).
+                        stop = True
+        return evals
+
+    def _propose(self, space: ConfigSpace, X: list[np.ndarray],
+                 y: list[float], n_evals: int,
+                 pending: list[np.ndarray]):
+        """One penalized proposal for the async loop: ``(point, choice)``.
+
+        Mirrors the serial loop's proposal block operation-for-operation
+        when *pending* is empty (same degenerate check, same fit
+        schedule, same fallback path — the k=1 parity contract); with
+        pending points a :class:`LocalPenalizer` multiplies their
+        exclusion balls into every acquisition's candidate sweep.  A
+        proposal colliding with an in-flight point is replaced by a
+        space-filling LHS draw, as in the constant-liar rounds.
+        """
+        choice = None
+        try:
+            y_arr = np.asarray(y)
+            if float(np.ptp(y_arr)) < _STD_FLOOR:
+                raise _DegenerateObservations
+            gp = self._fit_gp(np.vstack(X), y_arr, n_evals)
+            penalizer = None
+            if pending:
+                mean = float(y_arr.mean())
+                std = _safe_std(y_arr)
+                f_best = (float(y_arr.min()) - mean) / std
+                penalizer = LocalPenalizer(gp, np.vstack(pending), mean,
+                                           std, f_best)
+            nominees = self._nominate(gp, y_arr, space, penalizer=penalizer)
+            choice = self.hedge.choose(nominees)
+            u = space.snap(choice.nominees[choice.chosen_index])
+        except (np.linalg.LinAlgError, _DegenerateObservations):
+            self.fallbacks += 1
+            u = space.snap(latin_hypercube(1, space.dim, self._rng)[0])
+        if any(np.array_equal(u, p) for p in pending):
+            u = space.snap(latin_hypercube(1, space.dim, self._rng)[0])
+        return u, choice
+
+    def _fold_in(self, ev: Evaluation, u: np.ndarray, choice,
+                 threshold: float | None, it: int,
+                 evals: list[Evaluation], X: list[np.ndarray],
+                 y: list[float], guard: MedianGuard | None) -> None:
+        """Fold one completed evaluation into the engine's shared state.
+
+        The single place async completions mutate observations, guard,
+        Hedge gains and records (rule RPP004: worker callables return
+        results; they never touch engine state).  The bookkeeping order
+        matches the serial loop exactly.
+        """
+        evals.append(ev)
+        X.append(np.asarray(ev.vector, dtype=float))
+        y.append(float(ev.objective))
+        if guard is not None:
+            guard.observe(ev.cost_s, ev.ok)
+        self._tracer.emit("eval.result", evaluation_data(it, ev))
+        self._tracer.count("evals")
+        if ev.truncated and threshold is not None:
+            self._tracer.emit("guard.kill",
+                              {"i": it, "threshold": float(threshold),
+                               "cost_s": float(ev.cost_s)})
+        if choice is not None:
+            try:
+                gp2 = self._fit_gp(np.vstack(X), np.asarray(y), None)
+                mu = gp2.predict(choice.nominees)
+                y_arr = np.asarray(y)
+                std = _safe_std(y_arr)
+                self.hedge.update(-(mu - y_arr.mean()) / std)
+            except np.linalg.LinAlgError:
+                self.fallbacks += 1
+        self.records.append(BOIterationRecord(
+            iteration=it,
+            chosen_acquisition=choice.chosen_name if choice is not None
+            else "fallback/lhs",
+            probabilities=choice.probabilities if choice is not None
+            else np.array([]),
+            point=u,
+            objective=ev.objective))
+        self._tracer.emit("bo.iteration", {
+            "iteration": it,
+            "acq": self.records[-1].chosen_acquisition,
+            "objective": float(ev.objective),
+            "fallback": choice is None})
+
+    def _warn_serial_fallback(self, evaluate, n_points: int) -> None:
+        """Record that concurrent evaluation degraded to serial.
+
+        Wrapper objectives (journal, fault injector) intentionally hide
+        the inner ``spawn_view`` — borrowing it would skip their
+        per-evaluation bookkeeping — but the resulting serialization used
+        to be silent.  Now it emits a ``batch.serial_fallback`` event,
+        bumps the counter of the same name, and warns once per engine.
+        """
+        self._tracer.emit("batch.serial_fallback",
+                          {"objective": type(evaluate).__name__,
+                           "points": int(n_points)})
+        self._tracer.count("batch.serial_fallback")
+        if not self._warned_serial:
+            self._warned_serial = True
+            warnings.warn(
+                f"objective {type(evaluate).__name__} has no class-level "
+                "spawn_view(); concurrent evaluation degraded to serial. "
+                "Wrappers must implement spawn_view themselves to keep "
+                "per-evaluation bookkeeping under concurrency "
+                "(docs/PERFORMANCE.md).", RuntimeWarning, stacklevel=3)
 
     # -- batched mode --------------------------------------------------------------
     def _minimize_batched(self, evaluate, space: ConfigSpace,
@@ -437,24 +664,33 @@ class BOEngine:
         ``spawn_view()`` (see :class:`repro.tuners.base.Objective`); each
         point then runs on its own view, with views spawned *serially*
         beforehand so their RNG streams — and therefore the results — are
-        independent of worker count.  The capability is looked up on the
-        objective's *class*: delegating wrappers (journal, fault
-        injector) forward unknown attributes via ``__getattr__``, and
-        borrowing the inner objective's views would silently skip their
-        per-evaluation bookkeeping.  Anything without a class-level
-        ``spawn_view`` — wrappers included — evaluates serially, in
-        nomination order.
+        independent of worker count.  Objectives that additionally expose
+        ``evaluate_batch`` (a class-level method contracted to return the
+        same evaluations the spawned-view path would, bit-for-bit — see
+        :meth:`repro.tuners.objective.WorkloadObjective.evaluate_batch`)
+        take the vectorized fast path instead.  Capabilities are looked
+        up on the objective's *class*: delegating wrappers (journal,
+        fault injector) forward unknown attributes via ``__getattr__``,
+        and borrowing the inner objective's views would silently skip
+        their per-evaluation bookkeeping.  Anything with neither
+        capability — wrappers included — evaluates serially, in
+        nomination order, with a ``batch.serial_fallback`` event/counter
+        and a once-per-engine RuntimeWarning so the degradation is never
+        silent.
         """
-        if len(points) > 1 and getattr(type(evaluate), "spawn_view",
-                                       None) is not None:
-            views = [evaluate.spawn_view() for _ in points]
+        if len(points) > 1:
+            if getattr(type(evaluate), "evaluate_batch", None) is not None:
+                return evaluate.evaluate_batch(points, threshold)
+            if getattr(type(evaluate), "spawn_view", None) is not None:
+                views = [evaluate.spawn_view() for _ in points]
 
-            def _run(idx: int) -> Evaluation:
-                return views[idx](points[idx], threshold)
+                def _run(idx: int) -> Evaluation:
+                    return views[idx](points[idx], threshold)
 
-            return parallel_map(_run, list(range(len(points))),
-                                n_jobs=self.n_jobs, backend="thread",
-                                tracer=self._tracer)
+                return parallel_map(_run, list(range(len(points))),
+                                    n_jobs=self.n_jobs, backend="thread",
+                                    tracer=self._tracer)
+            self._warn_serial_fallback(evaluate, len(points))
         return [evaluate(u, threshold) for u in points]
 
     # -- internals ------------------------------------------------------------------
@@ -515,8 +751,17 @@ class BOEngine:
         return (mu - mean) / std, sigma / std, f_best
 
     def _nominate(self, gp: GaussianProcessRegressor, y: np.ndarray,
-                  space: ConfigSpace) -> np.ndarray:
-        """One proposed point per portfolio acquisition function."""
+                  space: ConfigSpace,
+                  penalizer: LocalPenalizer | None = None) -> np.ndarray:
+        """One proposed point per portfolio acquisition function.
+
+        With a *penalizer* (async mode, in-flight points exist) each
+        acquisition's sweep utility is multiplied by the busy-point
+        penalty factors and the sweep argmax is nominated directly:
+        the penalized surface is non-smooth around pending points, so
+        L-BFGS-B polish — which could climb back onto a busy region —
+        is skipped for these proposals.
+        """
         dim = space.dim
         cands = latin_hypercube(self.n_candidates, dim, self._rng)
         # Exploitation candidates: jitter around the best observed points.
@@ -532,7 +777,9 @@ class BOEngine:
         nominees = np.empty((len(self.hedge.functions), dim))
         for i, acq in enumerate(self.hedge.functions):
             util = acq(mu, sigma, f_best)
-            if not self.refine:
+            if penalizer is not None:
+                nominees[i] = U[int(np.argmax(penalizer.apply(util, U)))]
+            elif not self.refine:
                 nominees[i] = U[int(np.argmax(util))]
             elif self.gradients:
                 # Multi-start polish from the k best sweep candidates —

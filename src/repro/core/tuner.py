@@ -68,6 +68,12 @@ class ROBOTune(Tuner):
         paper's serial loop; larger values propose constant-liar batches
         and evaluate them concurrently when the objective supports
         ``spawn_view()``.
+    async_workers:
+        Asynchronous BO worker count (forwarded to :class:`BOEngine`
+        ``async_workers``).  ``0`` (default) keeps the synchronous loop;
+        ``k >= 1`` keeps ``k`` evaluations in flight with busy-point
+        penalization, folding completions into the surrogate as they
+        land.  Mutually exclusive with ``batch_size > 1``.
     engine_kwargs:
         Extra arguments forwarded to :class:`BOEngine` (portfolio, candidate
         counts, early stopping, gradients, ...).
@@ -90,6 +96,7 @@ class ROBOTune(Tuner):
                  guard_multiplier: float = 3.0,
                  store_results: int = 4,
                  batch_size: int = 1,
+                 async_workers: int = 0,
                  engine_kwargs: dict | None = None,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
@@ -110,9 +117,13 @@ class ROBOTune(Tuner):
         self.store_results = store_results
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if async_workers < 0:
+            raise ValueError("async_workers must be >= 0")
         self.batch_size = batch_size
+        self.async_workers = async_workers
         self.engine_kwargs = dict(engine_kwargs or {})
         self.engine_kwargs.setdefault("batch_size", batch_size)
+        self.engine_kwargs.setdefault("async_workers", async_workers)
         # The engine shares the worker budget: it parallelizes GP
         # multi-start fits and batched evaluations, both of which return
         # identical results for any worker count.

@@ -57,6 +57,10 @@ EVENT_TYPES: dict[str, str] = {
     "fault.injected": "the fault plan fired on an evaluation attempt",
     "retry.attempt": "a transient outcome is being retried",
     "parallel.map": "a parallel_map call dispatched a work batch",
+    "async.dispatch": "the async BO engine sent a proposal to a worker",
+    "async.fold": "an async evaluation was folded into the surrogate",
+    "batch.serial_fallback": "concurrent evaluation degraded to serial "
+                             "(objective lacks class-level spawn_view)",
 }
 
 

@@ -1,0 +1,339 @@
+"""Vectorized batch simulation: many configurations in one NumPy pass.
+
+:func:`run_batch` executes the same stage list under ``B`` configurations
+at once, replacing ``B`` scalar :meth:`SparkSimulator.run` calls.  The
+per-stage task arithmetic — memory accounting, GC pressure, read /
+compute / shuffle / spill / output costs — runs as ``(B,)`` array
+expressions via the ``*_batch`` helpers in :mod:`taskmodel`,
+:mod:`gcmodel`, :mod:`disk`, :mod:`network` and :mod:`memory`, which is
+where scalar simulation spends its time for wide batches.
+
+The contract is *bit-identity*, not approximation: for every
+configuration the result (status, duration, failure reason, every stage
+metric) equals what ``run`` produces with the matching per-configuration
+generator.  That holds because:
+
+* every vector expression mirrors the scalar operation order exactly
+  (IEEE-754 addition and multiplication are not associative, so
+  ``(a + b) + c`` stays ``(a + b) + c``);
+* scalar branches become masked assignments (``x[m] += ...``), never
+  algebraically equivalent rewrites, and scalar early returns become
+  zero masks applied after the uniform arithmetic;
+* stateful or failure-path work — executor placement, cache reads and
+  materialization, driver failure checks, stage overheads, the wave
+  scheduler — reuses the scalar helpers per configuration, so those
+  paths cannot drift;
+* random draws stay per-configuration and happen in the scalar order
+  (run noise at startup, then task noise / straggler draws per stage,
+  only while that configuration is still running), so each child
+  generator's stream is consumed exactly as ``run`` would.
+
+Stage makespans deliberately stay per-configuration: NumPy reductions
+over reshaped batch axes use pairwise summation whose grouping depends
+on the array shape, which would break bit-identity with the scalar
+``np.sum`` over one configuration's waves.
+
+The property suite in ``tests/sparksim/test_batch_parity.py`` checks the
+contract across random configurations and stage graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..utils.rng import as_generator, spawn
+from .conf import SparkConf
+from .disk import effective_disk_bw_batch
+from .gcmodel import gc_slowdown_batch
+from .memory import RESERVED_MB, execution_available_batch, executor_memory
+from .network import shuffle_fetch_seconds_batch
+from .placement import place_executors
+from .result import ExecutionResult, RunStatus, StageMetrics
+from .scheduler import stage_makespan
+from .serialization import codec_model, kryo_buffer_failure, serializer_model
+from .simulator import (_APP_STARTUP_S, _DISPATCH_BASE_S,
+                        _PER_EXECUTOR_STARTUP_S, _RUN_NOISE_SIGMA,
+                        _STRAGGLER_PROB, _STRAGGLER_RANGE, _TASK_NOISE_SIGMA,
+                        SparkSimulator)
+from .stage import CacheLevel, InputSource, StageSpec
+from .taskmodel import (hdfs_read_seconds_batch, locality_fraction_batch,
+                        shuffle_write_seconds_batch, spill_seconds_batch)
+
+__all__ = ["run_batch"]
+
+
+class _ConfigRun:
+    """Mutable per-configuration execution state across the stage loop."""
+
+    __slots__ = ("conf", "rng", "placement", "mem", "ser", "codec",
+                 "run_noise", "t", "cache", "wire_ratio", "metrics", "result")
+
+    def __init__(self, sim: SparkSimulator, conf: SparkConf,
+                 rng: np.random.Generator):
+        self.conf = conf
+        self.rng = rng
+        self.metrics: list[StageMetrics] = []
+        self.result: ExecutionResult | None = None
+        self.placement = place_executors(conf, sim.cluster)
+        if not self.placement.viable:
+            self.result = ExecutionResult(
+                RunStatus.INVALID, 8.0,
+                failure_reason="no executor fits on any node")
+            return
+        self.mem = executor_memory(conf)
+        self.ser = serializer_model(conf)
+        self.codec = codec_model(conf)
+        self.run_noise = float(np.exp(rng.normal(0.0, _RUN_NOISE_SIGMA)))
+        self.t = _APP_STARTUP_S \
+            + _PER_EXECUTOR_STARTUP_S * self.placement.executors
+        self.cache: dict = {}
+        self.wire_ratio = self.ser.size_ratio * (
+            self.codec.ratio if conf.shuffle_compress else 1.0)
+
+    def fail(self, out: ExecutionResult) -> None:
+        """Finalize with a stage-level failure, charging elapsed time."""
+        self.result = ExecutionResult(out.status, self.t + out.duration_s,
+                                      tuple(self.metrics), out.failure_reason)
+
+
+def run_batch(sim: SparkSimulator, stages: Sequence[StageSpec],
+              confs: Sequence[SparkConf | Mapping[str, object]],
+              rngs=None, time_limit_s: float | None = None
+              ) -> list[ExecutionResult]:
+    """Simulate every configuration in *confs*; see the module docstring.
+
+    ``rngs`` is either a sequence of per-configuration generators/seeds
+    (one per configuration, the parity-testable form) or a single
+    seed/generator/None that is split into per-configuration children via
+    :func:`repro.utils.rng.spawn`.
+    """
+    if not stages:
+        raise ValueError("workload has no stages")
+    confs = [c if isinstance(c, SparkConf) else SparkConf(c) for c in confs]
+    if rngs is None or isinstance(rngs, (int, np.random.Generator)):
+        rngs = spawn(rngs, len(confs))
+    else:
+        rngs = [as_generator(r) for r in rngs]
+        if len(rngs) != len(confs):
+            raise ValueError(f"got {len(rngs)} generators for "
+                             f"{len(confs)} configurations")
+    runs = [_ConfigRun(sim, conf, rng) for conf, rng in zip(confs, rngs)]
+    for spec in stages:
+        active = [r for r in runs if r.result is None]
+        if not active:
+            break
+        _stage_batch(sim, spec, active, time_limit_s)
+    for r in runs:
+        if r.result is None:
+            r.result = ExecutionResult(RunStatus.SUCCESS, float(r.t),
+                                       tuple(r.metrics))
+    return [r.result for r in runs]
+
+
+def _stage_batch(sim: SparkSimulator, spec: StageSpec,
+                 active: list[_ConfigRun],
+                 time_limit_s: float | None) -> None:
+    """One stage for every still-running configuration."""
+    node = sim.cluster.node
+    n = len(active)
+    conf = [r.conf for r in active]
+
+    execs = np.array([r.placement.executors for r in active], dtype=np.int64)
+    task_slots = np.array([r.placement.task_slots for r in active],
+                          dtype=np.int64)
+    ex_per_node = np.array([r.placement.executors_per_node for r in active],
+                           dtype=np.int64)
+    nodes_used = np.array([r.placement.nodes_used for r in active],
+                          dtype=np.int64)
+    slots_per_exec = np.maximum(task_slots // execs, 1)
+
+    # _partitions touches per-config cache state; always >= 1.
+    p = np.array([sim._partitions(spec, r.conf, r.cache) for r in active],
+                 dtype=np.int64)
+    per_task_mb = spec.input_mb / p
+
+    conc_per_exec = np.minimum(slots_per_exec, np.maximum(-(-p // execs), 1))
+    conc_per_node = np.minimum(slots_per_exec * ex_per_node,
+                               np.maximum(-(-p // nodes_used), 1))
+
+    # ---- memory accounting --------------------------------------------------
+    cached_per_exec = np.array(
+        [sum(e.stored_mb for e in r.cache.values()) / r.placement.executors
+         for r in active])
+    heap_cached = np.array(
+        [sum(e.stored_mb for e in r.cache.values() if e.on_heap)
+         / r.placement.executors for r in active])
+    working_set = per_task_mb * spec.expansion
+    if spec.shuffle_write_ratio > 0.0:
+        working_set += per_task_mb * spec.shuffle_write_ratio \
+            * spec.expansion * 0.5
+    if spec.cache_output is not None \
+            and spec.cache_output.level == CacheLevel.MEMORY:
+        unroll = per_task_mb * spec.expansion
+    else:
+        unroll = working_set * spec.unroll_fraction
+
+    total_unified = np.array([r.mem.total_unified_mb for r in active])
+    storage_floor = np.array([r.mem.storage_floor_mb for r in active])
+    exec_avail = execution_available_batch(total_unified, storage_floor,
+                                           cached_per_exec) / conc_per_exec
+
+    heap_mb = np.array([r.mem.heap_mb for r in active])
+    alloc_factor = np.array([r.ser.alloc_factor for r in active])
+    live_mb = RESERVED_MB + heap_cached + working_set * conc_per_exec * 0.8
+    gc = gc_slowdown_batch(heap_mb, live_mb, alloc_factor)
+
+    # ---- fast failures ------------------------------------------------------
+    alive = np.ones(n, dtype=bool)
+    if spec.shuffle_write_ratio > 0.0:
+        for i, r in enumerate(active):
+            if kryo_buffer_failure(r.conf, spec.largest_record_mb):
+                alive[i] = False
+                r.fail(ExecutionResult(
+                    RunStatus.RUNTIME_ERROR, 10.0,
+                    failure_reason=f"{spec.name}: record exceeds "
+                                   "spark.kryoserializer.buffer.max"))
+    for i, r in enumerate(active):
+        if alive[i]:
+            fail = sim._driver_failures(spec, r.conf, int(p[i]))
+            if fail is not None:
+                alive[i] = False
+                r.fail(fail)
+
+    # ---- per-task cost components -------------------------------------------
+    ser_mbps = np.array([r.ser.ser_mbps for r in active])
+    deser_mbps = np.array([r.ser.deser_mbps for r in active])
+    size_ratio = np.array([r.ser.size_ratio for r in active])
+    comp_mbps = np.array([r.codec.comp_mbps for r in active])
+    decomp_mbps = np.array([r.codec.decomp_mbps for r in active])
+    codec_ratio = np.array([r.codec.ratio for r in active])
+    shuffle_compress = np.array([c.shuffle_compress for c in conf], dtype=bool)
+
+    local_frac, local_delay = locality_fraction_batch(
+        np.array([c.locality_wait_s for c in conf], dtype=float), nodes_used,
+        sim.cluster.n_workers, sim.cluster.hdfs_replication)
+
+    fetch_floor = np.zeros(n)
+    cache_hit = np.ones(n)
+    if spec.input_source == InputSource.HDFS:
+        read_s = hdfs_read_seconds_batch(per_task_mb, node, conc_per_node,
+                                         local_frac, deser_mbps * 1.5)
+        read_s = read_s + local_delay
+    elif spec.input_source == InputSource.SHUFFLE:
+        wire_total = spec.input_mb * (
+            size_ratio * np.where(shuffle_compress, codec_ratio, 1.0))
+        fetch_floor = shuffle_fetch_seconds_batch(
+            wire_total,
+            np.array([float(c.reducer_max_size_in_flight_mb) for c in conf]),
+            np.array([c.reducer_max_reqs_in_flight for c in conf],
+                     dtype=np.int64),
+            np.array([c.shuffle_connections_per_peer for c in conf],
+                     dtype=np.int64),
+            node, nodes_used)
+        wire_per_task = wire_total / p
+        cpu = per_task_mb / deser_mbps
+        cpu[shuffle_compress] += wire_per_task[shuffle_compress] \
+            / decomp_mbps[shuffle_compress]
+        big = wire_per_task > np.array(
+            [c.max_remote_block_to_mem_mb for c in conf], dtype=np.int64)
+        cpu[big] += wire_per_task[big] \
+            / effective_disk_bw_batch(node, conc_per_node)[big]
+        read_s = cpu * gc / node.cpu_speed
+    else:  # CACHE: per-config cache state drives everything; reuse scalar.
+        read_s = np.empty(n)
+        for i, r in enumerate(active):
+            read_s[i], fetch_floor[i], cache_hit[i] = sim._read_costs(
+                spec, r.conf, r.cache, float(per_task_mb[i]), int(p[i]),
+                r.ser, r.codec, float(gc[i]), node, int(conc_per_node[i]),
+                float(local_frac[i]), int(nodes_used[i]))
+
+    compute_s = per_task_mb * spec.compute_s_per_mb * gc / node.cpu_speed
+
+    shuffle_s, wire_per_task_out = shuffle_write_seconds_batch(
+        per_task_mb * spec.shuffle_write_ratio, node, conc_per_node,
+        ser_mbps, size_ratio, comp_mbps, codec_ratio, shuffle_compress,
+        np.array([c.shuffle_file_buffer_kb for c in conf], dtype=np.int64),
+        np.array([c.shuffle_sort_bypass_threshold for c in conf],
+                 dtype=np.int64),
+        np.array([c.default_parallelism for c in conf], dtype=np.int64),
+        spec.shuffle_agg, gc)
+    new_wire_ratio = None
+    if spec.shuffle_write_ratio > 0.0:
+        new_wire_ratio = wire_per_task_out / np.maximum(
+            per_task_mb * spec.shuffle_write_ratio, 1e-12)
+
+    spill_mb = np.maximum(working_set - exec_avail, 0.0)
+    spill_s, spilled_mb = spill_seconds_batch(
+        spill_mb, exec_avail, node, conc_per_node, ser_mbps, deser_mbps,
+        size_ratio, comp_mbps, decomp_mbps, codec_ratio,
+        np.array([c.shuffle_spill_compress for c in conf], dtype=bool))
+
+    output_s = np.zeros(n)
+    if spec.output_mb > 0.0:
+        out_per_task = spec.output_mb / p
+        output_s = out_per_task / effective_disk_bw_batch(node, conc_per_node)
+
+    # OOM after costs are known, so the failure charges real time.
+    oom = unroll > exec_avail
+    for i, r in enumerate(active):
+        if alive[i] and oom[i]:
+            alive[i] = False
+            attempt = (float(read_s[i]) + float(compute_s[i])) * 1.5 + 12.0
+            retries = min(r.conf.task_max_failures, 4)
+            r.fail(ExecutionResult(
+                RunStatus.OOM, attempt * retries,
+                failure_reason=f"{spec.name}: partition working set "
+                               f"{float(unroll[i]):.0f} MB exceeds per-task "
+                               f"execution memory {float(exec_avail[i]):.0f}"
+                               " MB"))
+
+    # ---- per-config noise, scheduling and stage wrap-up ---------------------
+    base = read_s + compute_s + shuffle_s + spill_s + output_s
+    dispatch = _DISPATCH_BASE_S / (0.5 + 0.25 * np.minimum(
+        np.array([c.driver_cores for c in conf], dtype=np.int64), 6))
+    for i, r in enumerate(active):
+        if not alive[i]:
+            continue
+        pi = int(p[i])
+        durations = float(base[i]) * np.exp(
+            r.rng.normal(0.0, _TASK_NOISE_SIGMA, size=pi))
+        stragglers = r.rng.random(pi) < _STRAGGLER_PROB
+        durations[stragglers] *= r.rng.uniform(*_STRAGGLER_RANGE,
+                                               size=int(stragglers.sum()))
+        if sim.exact_scheduler:
+            from .eventsim import event_driven_makespan
+            makespan, waves = event_driven_makespan(
+                durations, r.conf, r.placement.task_slots, float(dispatch[i]))
+        else:
+            makespan, waves = stage_makespan(
+                durations, r.conf, r.placement.task_slots, float(dispatch[i]))
+        stage_time = max(makespan, float(fetch_floor[i]))
+        stage_time += sim._stage_overheads(spec, r.conf, r.placement, node)
+        stage_time *= r.run_noise
+
+        if spec.cache_output is not None:
+            sim._materialize(
+                spec.cache_output, r.conf, r.mem, r.ser, r.codec, r.cache,
+                r.placement.executors, pi,
+                exec_demand_mb=float(working_set[i]) * int(conc_per_exec[i]))
+
+        sm = StageMetrics(
+            name=spec.name, tasks=pi, waves=waves,
+            duration_s=float(stage_time),
+            read_s=float(read_s[i]), compute_s=float(compute_s[i]),
+            shuffle_write_s=float(shuffle_s[i]),
+            shuffle_fetch_s=float(fetch_floor[i]), spill_s=float(spill_s[i]),
+            gc_factor=float(gc[i]), sched_overhead_s=float(dispatch[i] * p[i]),
+            spilled_mb=float(spilled_mb[i] * p[i]),
+            cache_hit_fraction=float(cache_hit[i]),
+        )
+        if new_wire_ratio is not None:
+            r.wire_ratio = float(new_wire_ratio[i])
+        r.t += float(stage_time)
+        r.metrics.append(sm)
+        if time_limit_s is not None and r.t > time_limit_s:
+            r.result = ExecutionResult(
+                RunStatus.TIMEOUT, float(time_limit_s), tuple(r.metrics),
+                failure_reason="execution cap reached")

@@ -155,6 +155,24 @@ class SparkSimulator:
 
         return ExecutionResult(RunStatus.SUCCESS, float(t), tuple(metrics))
 
+    def run_batch(self, stages: Sequence[StageSpec],
+                  confs: Sequence[SparkConf | Mapping[str, object]],
+                  rngs=None,
+                  time_limit_s: float | None = None) -> list[ExecutionResult]:
+        """Simulate many configurations in one vectorized pass.
+
+        Bit-identical to calling :meth:`run` once per configuration with
+        the matching generator from *rngs* (a sequence of per-config
+        generators/seeds, or a single seed/generator/None split via
+        :func:`repro.utils.rng.spawn`) — property-tested in
+        ``tests/sparksim/test_batch_parity.py``.  The per-stage task
+        arithmetic runs as ``(B,)`` NumPy expressions across all still-
+        running configurations; see :mod:`repro.sparksim.batch`.
+        """
+        from .batch import run_batch as _run_batch
+        return _run_batch(self, stages, confs, rngs=rngs,
+                          time_limit_s=time_limit_s)
+
     # -- stage simulation -----------------------------------------------------------
     def _run_stage(self, spec: StageSpec, conf: SparkConf,
                    placement: Placement, mem: ExecutorMemory,

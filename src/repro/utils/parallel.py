@@ -22,12 +22,15 @@ order regardless of completion order.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
+from typing import Any, Callable, Iterable, TypeVar
 
 from ..obs import NULL_TRACER
 
-__all__ = ["ENV_JOBS", "available_cpus", "resolve_n_jobs", "parallel_map"]
+__all__ = ["ENV_JOBS", "available_cpus", "resolve_n_jobs", "parallel_map",
+           "WorkerPool"]
 
 ENV_JOBS = "ROBOTUNE_JOBS"
 
@@ -119,3 +122,117 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
             chunksize = max(1, len(items) // (workers * 2))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
+
+
+class WorkerPool:
+    """Submit/collect pool for asynchronous evaluation loops.
+
+    Unlike :func:`parallel_map` (a barrier: dispatch a batch, wait for all
+    of it), a ``WorkerPool`` keeps tasks in flight and hands back whichever
+    one finishes first, so a caller can fold a result in and dispatch a
+    replacement without waiting on the round's stragglers — the core of the
+    asynchronous BO engine (see docs/PERFORMANCE.md).
+
+    Parameters
+    ----------
+    n_workers:
+        Concurrent task capacity.  This is an explicit count, never derived
+        from CPUs: async evaluation overlaps *latency* (simulated cluster
+        runs, sleeps), which threads do regardless of core count.
+    backend:
+        ``"thread"`` (default) runs tasks on a ``ThreadPoolExecutor``;
+        ``"serial"`` defers execution to :meth:`next_completed` (FIFO), so
+        tests can exercise the submit/collect protocol deterministically
+        with no threads at all.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; task execution time accumulates
+        in the ``pool.task`` timer (the clock read stays inside the tracer,
+        rule RPD005).
+
+    Completion-order determinism is the *caller's* problem, exactly as for
+    :func:`parallel_map`: tags let the caller re-associate results with
+    submissions regardless of which finishes first.
+    """
+
+    def __init__(self, n_workers: int, *, backend: str = "thread",
+                 tracer=None):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if backend not in ("thread", "serial"):
+            raise ValueError(
+                f"backend must be 'thread' or 'serial', got {backend!r}")
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self._tracer = NULL_TRACER if tracer is None else tracer
+        self._executor = ThreadPoolExecutor(max_workers=self.n_workers) \
+            if backend == "thread" else None
+        self._futures: dict[Any, Any] = {}   # future -> tag
+        self._queue: deque = deque()         # serial backend: (tag, thunk)
+        self._seq: dict[Any, int] = {}       # future -> submit order
+        self._n_submitted = 0
+
+    # -- protocol -----------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet collected."""
+        return len(self._futures) + len(self._queue)
+
+    @property
+    def free_workers(self) -> int:
+        return max(self.n_workers - self.pending, 0)
+
+    def submit(self, fn: Callable[[], Any], *, tag: Any = None) -> None:
+        """Dispatch a zero-argument task; *tag* identifies it on collection."""
+        if self.pending >= self.n_workers:
+            raise RuntimeError(
+                f"pool is full ({self.n_workers} tasks in flight); "
+                "collect with next_completed() before submitting more")
+
+        def _run() -> Any:
+            with self._tracer.timer("pool.task"):
+                return fn()
+
+        if self._executor is None:
+            self._queue.append((tag, _run))
+        else:
+            fut = self._executor.submit(_run)
+            self._futures[fut] = tag
+            self._seq[fut] = self._n_submitted
+        self._n_submitted += 1
+
+    def next_completed(self) -> tuple[Any, Any]:
+        """Block until any in-flight task finishes; returns ``(tag, result)``.
+
+        Ties (several tasks already done) resolve in submission order, so
+        replaying a trace where everything completed "instantly" is
+        deterministic.  A task that raised re-raises here, after being
+        removed from the pool.
+        """
+        if self._executor is None:
+            if not self._queue:
+                raise RuntimeError("no tasks in flight")
+            tag, run = self._queue.popleft()
+            return tag, run()
+        if not self._futures:
+            raise RuntimeError("no tasks in flight")
+        done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+        fut = min(done, key=self._seq.__getitem__)
+        tag = self._futures.pop(fut)
+        self._seq.pop(fut)
+        return tag, fut.result()
+
+    def close(self) -> None:
+        """Shut the pool down, cancelling anything still queued."""
+        self._queue.clear()
+        if self._executor is not None:
+            for fut in self._futures:
+                fut.cancel()
+            self._executor.shutdown(wait=True)
+            self._futures.clear()
+            self._seq.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

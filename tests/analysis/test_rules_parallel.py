@@ -137,3 +137,72 @@ class TestSharedStateMutation:
                 return rng.random(n)
         """)
         assert rules_of(findings, "RPP003") == []
+
+
+class TestWorkerMutatesEngineState:
+    def test_flags_lambda_mutating_self_collection(self, lint):
+        findings = lint("""\
+            class Engine:
+                def dispatch(self, pool, runner, u):
+                    pool.submit(lambda: self.evals.append(runner(u)))
+        """)
+        hits = rules_of(findings, "RPP004")
+        assert len(hits) == 1
+        assert "self.evals.append" in hits[0].message
+
+    def test_flags_nested_worker_assigning_self_attribute(self, lint):
+        findings = lint("""\
+            class Engine:
+                def dispatch(self, pool, runner, u):
+                    def task():
+                        result = runner(u)
+                        self.best = result
+                        return result
+                    pool.submit(task)
+        """)
+        hits = rules_of(findings, "RPP004")
+        assert len(hits) == 1
+        assert "assigns self.best" in hits[0].message
+
+    def test_flags_augmented_assignment_through_subscript(self, lint):
+        findings = lint("""\
+            class Engine:
+                def dispatch(self, pool, runner, i):
+                    def task():
+                        self.counts[i] += 1
+                        return runner(i)
+                    pool.submit(task)
+        """)
+        hits = rules_of(findings, "RPP004")
+        assert len(hits) == 1
+        assert "self.counts" in hits[0].message
+
+    def test_allows_pure_worker_closure(self, lint):
+        findings = lint("""\
+            class Engine:
+                def dispatch(self, pool, runner, u, threshold):
+                    pool.submit(lambda r=runner, v=u, t=threshold: r(v, t))
+        """)
+        assert rules_of(findings, "RPP004") == []
+
+    def test_allows_mutation_outside_the_worker(self, lint):
+        findings = lint("""\
+            class Engine:
+                def fold(self, pool):
+                    tag, result = pool.next_completed()
+                    self.evals.append(result)
+        """)
+        assert rules_of(findings, "RPP004") == []
+
+    def test_suppression(self, lint):
+        findings = lint("""\
+            class Engine:
+                def dispatch(self, pool, runner, u):
+                    def task():
+                        self.started.add(u)  # repro: noqa RPP004 -- lock-guarded progress set; never read by decisions
+                        return runner(u)
+                    pool.submit(task)
+        """)
+        hits = rules_of(findings, "RPP004")
+        assert len(hits) == 1 and hits[0].suppressed
+        assert active(findings) == []

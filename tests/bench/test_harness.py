@@ -69,3 +69,29 @@ class TestROBOTuneSessions:
         assert d2.cache_hit
         assert d1.selection_cost_s > 0
         assert d2.selection_cost_s == 0.0
+
+
+class TestAsyncWorkers:
+    def test_async_study_runs(self):
+        study = ComparisonStudy(
+            budget=20, trials=1, workloads=["terasort"], datasets=["D1"],
+            tuners=["ROBOTune"], base_seed=7, async_workers=2,
+        ).run()
+        assert len(study.records) == 1
+        assert study.records[0].curve.shape == (20,)
+
+    def test_async_single_worker_matches_sync(self):
+        kw = dict(budget=20, trials=1, workloads=["terasort"],
+                  datasets=["D1"], tuners=["ROBOTune"], base_seed=9)
+        sync = ComparisonStudy(**kw).run()
+        async1 = ComparisonStudy(**kw, async_workers=1).run()
+        np.testing.assert_array_equal(sync.records[0].curve,
+                                      async1.records[0].curve)
+
+    def test_negative_async_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonStudy(async_workers=-1)
+
+    def test_async_and_batch_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ComparisonStudy(async_workers=2, batch_size=4)

@@ -128,14 +128,15 @@ class TestSpawnViewDispatch:
     def test_wrapped_objective_falls_back_to_serial(self, tmp_path):
         # JournaledObjective forwards unknown attributes via __getattr__;
         # borrowing the inner spawn_view would bypass journaling.  The
-        # class-level capability check must reject it.
+        # class-level capability check must reject it — audibly.
         space, objective, initial = make_problem(seed=19)
         journal = EvaluationJournal(tmp_path / "batch.jsonl")
         wrapped = JournaledObjective(objective, journal)
         assert getattr(type(wrapped), "spawn_view", None) is None
         assert wrapped.spawn_view is not None  # the leak the check avoids
         engine = BOEngine(rng=20, n_candidates=64, batch_size=3, n_jobs=4)
-        evals = engine.minimize(wrapped, space, initial, budget=6)
+        with pytest.warns(RuntimeWarning, match="degraded to serial"):
+            evals = engine.minimize(wrapped, space, initial, budget=6)
         assert len(evals) == 6
         assert len(journal) == 6  # every point journaled
         journal.close()

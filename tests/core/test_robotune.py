@@ -134,3 +134,22 @@ class TestValidation:
             n_samples=12, n_trees=10, n_repeats=2, rng=0))
         with pytest.raises(TypeError):
             tuner.tune(Bare(), budget=15, rng=1)
+
+
+class TestAsyncWorkers:
+    def test_async_forwarded_to_engine(self):
+        tuner = make_tuner(seed=20, async_workers=3)
+        result = tuner.tune(make_objective(seed=21), budget=25, rng=22)
+        assert len(result.evaluations) == 25
+
+    def test_async_single_worker_matches_sync(self):
+        a = make_tuner(seed=23).tune(make_objective(seed=24), budget=25,
+                                     rng=25)
+        b = make_tuner(seed=23, async_workers=1).tune(
+            make_objective(seed=24), budget=25, rng=25)
+        assert [e.objective for e in a.evaluations] == \
+            [e.objective for e in b.evaluations]
+
+    def test_negative_async_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ROBOTune(async_workers=-1)

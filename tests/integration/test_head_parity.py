@@ -75,3 +75,29 @@ def test_traced_decisions_match_pre_observability_head(name):
     result = run(name, tracer=tracer)
     tracer.close()
     assert digest(result) == GOLDEN[name]
+
+
+def run_async(tracer=None):
+    """The ROBOTune golden row with the async engine at one worker.
+
+    ``async_workers=1`` is the degenerate asynchronous case: never more
+    than one point in flight, so no busy-point penalization fires and the
+    proposal sequence must be bit-identical to the serial loop.
+    """
+    tuner = ROBOTune(selector=ParameterSelector(n_samples=12, n_trees=25,
+                                                n_repeats=3, rng=7),
+                     init_samples=6, async_workers=1, rng=0)
+    objective = SyntheticObjective(synthetic_space(6), n_effective=2,
+                                   name="golden", rng=1)
+    return tuner.tune(objective, 30, rng=0, tracer=tracer)
+
+
+def test_async_single_worker_matches_golden_head():
+    assert digest(run_async()) == GOLDEN["ROBOTune"]
+
+
+def test_traced_async_single_worker_matches_golden_head():
+    tracer = Tracer(InMemorySink(), meta={"tuner": "ROBOTune-async"})
+    result = run_async(tracer=tracer)
+    tracer.close()
+    assert digest(result) == GOLDEN["ROBOTune"]

@@ -1,0 +1,182 @@
+"""``Simulator.run_batch`` must be bit-identical to the scalar loop.
+
+The vectorized batch path (``repro.sparksim.batch``) promises *exact*
+equality with calling :meth:`SparkSimulator.run` once per configuration
+under identically-spawned RNGs — not approximate agreement.  IEEE floats
+make that a strong claim (op order matters), so these tests compare
+statuses, durations, failure reasons and full per-stage metric tuples
+with ``==``, across fixed workloads, hypothesis-drawn configurations and
+randomized stage graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.space import spark_space
+from repro.sparksim import SparkSimulator
+from repro.sparksim.stage import CachedRDD, CacheLevel, InputSource, StageSpec
+from repro.utils.rng import spawn
+from repro.workloads import get_workload
+
+SPACE = spark_space()
+SIM = SparkSimulator()
+
+unit_vectors = st.lists(st.floats(0.0, 1.0), min_size=SPACE.dim,
+                        max_size=SPACE.dim).map(np.array)
+
+
+def assert_batch_matches_scalar(sim, stages, confs, seed,
+                                time_limit_s=480.0):
+    """The core contract: spawn the same rngs, compare bit-for-bit."""
+    rngs_scalar = spawn(np.random.default_rng(seed), len(confs))
+    rngs_batch = spawn(np.random.default_rng(seed), len(confs))
+    scalar = [sim.run(stages, c, rng=r, time_limit_s=time_limit_s)
+              for c, r in zip(confs, rngs_scalar)]
+    batch = sim.run_batch(stages, confs, rngs=rngs_batch,
+                          time_limit_s=time_limit_s)
+    assert len(batch) == len(scalar)
+    for s, b in zip(scalar, batch):
+        assert b.status == s.status
+        assert b.duration_s == s.duration_s  # bit-identical, not isclose
+        assert b.failure_reason == s.failure_reason
+        assert b.stages == s.stages
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("name", ["terasort", "pagerank", "kmeans",
+                                      "connectedcomponents",
+                                      "logisticregression"])
+    def test_batch_matches_scalar_loop(self, name):
+        stages = get_workload(name, "D1").build_stages()
+        rng = np.random.default_rng(7)
+        confs = [SPACE.decode(rng.random(SPACE.dim)) for _ in range(6)]
+        assert_batch_matches_scalar(SIM, stages, confs, seed=11)
+
+    def test_exact_scheduler_backend(self):
+        sim = SparkSimulator(exact_scheduler=True)
+        stages = get_workload("terasort", "D1").build_stages()
+        rng = np.random.default_rng(8)
+        confs = [SPACE.decode(rng.random(SPACE.dim)) for _ in range(4)]
+        assert_batch_matches_scalar(sim, stages, confs, seed=12)
+
+    def test_tight_time_limit_censors_identically(self):
+        stages = get_workload("terasort", "D1").build_stages()
+        rng = np.random.default_rng(9)
+        confs = [SPACE.decode(rng.random(SPACE.dim)) for _ in range(6)]
+        assert_batch_matches_scalar(SIM, stages, confs, seed=13,
+                                    time_limit_s=45.0)
+
+    def test_single_config_batch(self):
+        stages = get_workload("kmeans", "D1").build_stages()
+        conf = SPACE.decode(np.full(SPACE.dim, 0.5))
+        assert_batch_matches_scalar(SIM, stages, [conf], seed=14)
+
+
+class TestPropertyParity:
+    @given(st.lists(unit_vectors, min_size=1, max_size=4),
+           st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_configs_bit_identical(self, us, seed):
+        confs = [SPACE.decode(u) for u in us]
+        stages = get_workload("terasort", "D1").build_stages()
+        assert_batch_matches_scalar(SIM, stages, confs, seed=seed)
+
+    @given(unit_vectors,
+           st.sampled_from(["pagerank", "kmeans", "connectedcomponents",
+                            "logisticregression"]),
+           st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_all_workloads_bit_identical(self, u, name, seed):
+        stages = get_workload(name, "D1").build_stages()
+        assert_batch_matches_scalar(SIM, stages, [SPACE.decode(u)],
+                                    seed=seed)
+
+
+# -- randomized stage graphs ----------------------------------------------------
+
+def _random_stages(draw):
+    """A structurally valid random stage DAG (linear chain).
+
+    Mixes the three input sources: the first stage always reads HDFS;
+    later stages fetch shuffle output when the predecessor wrote one,
+    read a cached RDD when one exists, or fall back to HDFS.
+    """
+    n = draw(st.integers(1, 5))
+    stages = []
+    prev_shuffle = 0.0
+    cached = None
+    for i in range(n):
+        if i == 0:
+            source, reads = InputSource.HDFS, None
+        elif prev_shuffle > 0.0 and draw(st.booleans()):
+            source, reads = InputSource.SHUFFLE, None
+        elif cached is not None and draw(st.booleans()):
+            source, reads = InputSource.CACHE, cached.name
+        else:
+            source, reads = InputSource.HDFS, None
+        shuffle_ratio = draw(st.sampled_from([0.0, 0.3, 1.0, 1.8]))
+        cache_out = None
+        if draw(st.booleans()):
+            cache_out = CachedRDD(
+                name=f"rdd{i}",
+                logical_mb=draw(st.sampled_from([256.0, 2048.0, 8192.0])),
+                level=draw(st.sampled_from([CacheLevel.MEMORY,
+                                            CacheLevel.MEMORY_SER])))
+        stages.append(StageSpec(
+            name=f"s{i}",
+            input_mb=draw(st.sampled_from([128.0, 1024.0, 16384.0])),
+            input_source=source,
+            reads_cached=reads,
+            compute_s_per_mb=draw(st.sampled_from([0.002, 0.01, 0.05])),
+            shuffle_write_ratio=shuffle_ratio,
+            cache_output=cache_out,
+            shuffle_agg=draw(st.booleans()),
+            broadcast_mb=draw(st.sampled_from([0.0, 64.0])),
+            driver_collect_mb=draw(st.sampled_from([0.0, 32.0])),
+        ))
+        prev_shuffle = shuffle_ratio
+        if cache_out is not None:
+            cached = cache_out
+    return stages
+
+
+class TestRandomStageGraphs:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_bit_identical(self, data):
+        stages = _random_stages(data.draw)
+        us = data.draw(st.lists(unit_vectors, min_size=1, max_size=3))
+        seed = data.draw(st.integers(0, 10_000))
+        confs = [SPACE.decode(u) for u in us]
+        assert_batch_matches_scalar(SIM, stages, confs, seed=seed)
+
+
+class TestValidationAndRngHandling:
+    def test_empty_stage_list_rejected(self):
+        conf = SPACE.decode(np.full(SPACE.dim, 0.5))
+        with pytest.raises(ValueError):
+            SIM.run_batch([], [conf])
+
+    def test_rng_count_mismatch_rejected(self):
+        stages = get_workload("terasort", "D1").build_stages()
+        confs = [SPACE.decode(np.full(SPACE.dim, 0.5))] * 2
+        with pytest.raises(ValueError):
+            SIM.run_batch(stages, confs, rngs=[np.random.default_rng(0)])
+
+    def test_empty_batch_returns_empty(self):
+        stages = get_workload("terasort", "D1").build_stages()
+        assert SIM.run_batch(stages, []) == []
+
+    def test_seed_rngs_spawned_like_scalar(self):
+        """``rngs=int`` must mean ``spawn(int, B)``, stream-for-stream."""
+        stages = get_workload("terasort", "D1").build_stages()
+        rng = np.random.default_rng(21)
+        confs = [SPACE.decode(rng.random(SPACE.dim)) for _ in range(3)]
+        batch = SIM.run_batch(stages, confs, rngs=17, time_limit_s=480.0)
+        scalar = [SIM.run(stages, c, rng=r, time_limit_s=480.0)
+                  for c, r in zip(confs,
+                                  spawn(np.random.default_rng(17), 3))]
+        for s, b in zip(scalar, batch):
+            assert b.duration_s == s.duration_s
+            assert b.stages == s.stages

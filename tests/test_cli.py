@@ -80,6 +80,24 @@ class TestTune:
         assert code == 0
         assert "core_seconds" in capsys.readouterr().out
 
+    def test_tune_async_workers(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "20",
+                     "--seed", "3", "--async-workers", "2"])
+        assert code == 0
+        assert "best objective" in capsys.readouterr().out
+
+    def test_negative_async_workers_rejected(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--async-workers", "-2"])
+        assert code == 2
+        assert "--async-workers" in capsys.readouterr().err
+
+    def test_async_workers_and_batch_exclusive(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--async-workers", "2", "--batch", "4"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
 
 class TestCompare:
     def test_compare_prints_ratios(self, capsys):
