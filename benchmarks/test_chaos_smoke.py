@@ -82,6 +82,64 @@ def test_chaos_robotune_completes(capsys):
               f"injected, {stats['retries']} retries")
 
 
+def test_chaos_supervised_robotune_quarantines_poison(capsys):
+    """Supervised chaos: hangs, worker deaths and a deterministic poison
+    config at ``async_workers=4`` must neither deadlock nor starve the
+    budget, and the repeat offender must end up quarantined."""
+    import threading
+
+    from repro.core.memo import ParameterSelectionCache
+    from repro.faults import HangInjector, HangPlan
+    from repro.supervise import SupervisePolicy
+
+    space = spark_space()
+    objective = _objective(space, faults=0.0)
+    # Pre-warm the selection cache: the chaos must land on the supervised
+    # BO loop, not the (unsupervised) selection phase.
+    cache = ParameterSelectionCache()
+    cache.put(objective.workload.key, list(space.names)[:8])
+
+    init_samples = 6
+    lock = threading.Lock()
+    state = {"seen": 0, "target": None}
+
+    def poison(u):
+        # The first BO proposal is a deterministic repeat offender.
+        with lock:
+            state["seen"] += 1
+            if state["seen"] <= init_samples:
+                return False
+            if state["target"] is None:
+                state["target"] = np.asarray(u, dtype=float).copy()
+            return bool(np.array_equal(u, state["target"]))
+
+    # Plan seed 49 draws no fault on the initial design (indices 0-5)
+    # and a hang/death mix across the supervised BO phase.
+    chaotic = HangInjector(objective,
+                           HangPlan(0.25, seed=49, hang_s=2.0,
+                                    death_share=0.5),
+                           poison=poison, poison_kind="worker_death")
+    tuner = ROBOTune(selection_cache=cache, init_samples=init_samples,
+                     async_workers=4, rng=SEED,
+                     supervise=SupervisePolicy(eval_timeout_s=0.5,
+                                               speculate=True,
+                                               quarantine_after=2))
+    result = tuner.tune(chaotic, 24, rng=np.random.default_rng(SEED))
+
+    assert result.n_evaluations == 24        # full budget despite the chaos
+    assert result.quarantined_configs        # the repeat offender is out
+    faults = [e.fault for e in result.evaluations if e.fault]
+    assert faults
+    assert np.isfinite(result.best_time_s)
+    with capsys.disabled():
+        print(f"\nchaos supervised ROBOTune (k=4, budget 24): "
+              f"{chaotic.stats['hangs']} hangs, "
+              f"{chaotic.stats['deaths']} deaths, "
+              f"{len(result.quarantined_configs)} quarantined, "
+              f"{len(faults)} censored evals, "
+              f"best {result.best_time_s:.0f}s")
+
+
 def test_robustness_sweep_report(emit):
     table = run_robustness_experiment(budget=25, trials=min(TRIALS, 2),
                                       fault_rates=(0.0, 0.05, 0.1, 0.2),

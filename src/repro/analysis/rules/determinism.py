@@ -164,8 +164,10 @@ class ClockOutsideObservability(Rule):
         "way to measure a component, and they keep timing out of decision "
         "paths and out of determinism tests.  A direct time.monotonic()/"
         "perf_counter() call anywhere else creates a second, untraceable "
-        "timing source.  core/guard.py (the execution-time accountant) is "
-        "the single exemption.")
+        "timing source.  core/guard.py (the execution-time accountant) and "
+        "supervise/ (deadlines and heartbeats are facts about real elapsed "
+        "time; its clock is injected and it is documented as "
+        "non-bit-reproducible) are the only exemptions.")
 
     _ALLOWED_MODULES = ("core/guard.py",)
 
@@ -173,7 +175,8 @@ class ClockOutsideObservability(Rule):
         sub = ctx.repro_subpath
         if sub is None:      # tests, benchmarks, tools — out of scope
             return True
-        return sub.startswith("obs/") or ctx.is_module(*self._ALLOWED_MODULES)
+        return (sub.startswith(("obs/", "supervise/"))
+                or ctx.is_module(*self._ALLOWED_MODULES))
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if self._exempt(ctx):

@@ -250,3 +250,55 @@ class SharedStateMutation(Rule):
                             "RNG constructed in a default argument is "
                             "shared across every call; default to None and "
                             "coerce via repro.utils.rng.as_generator")
+
+
+#: Attribute calls that block forever when called with no arguments.
+#: Requiring *zero positional args* keeps the usual false positives out:
+#: ``d.get(key)``, ``",".join(parts)`` and ``os.path.join(a, b)`` all
+#: take positionals, while ``queue.get()``, ``future.result()`` and
+#: ``thread.join()`` without a ``timeout=`` are unbounded waits.
+_BLOCKING_ATTRS = ("get", "result", "join")
+
+
+@register
+class UnboundedBlockingCall(Rule):
+    """RPP005: no unbounded blocking waits outside the pool layer."""
+
+    id = "RPP005"
+    title = "unbounded blocking call"
+    rationale = (
+        "queue.get(), Future.result() and Thread.join() with no timeout "
+        "wait forever: one hung worker then wedges the whole engine, which "
+        "is exactly the failure mode the supervision layer exists to "
+        "prevent (docs/ROBUSTNESS.md).  All blocking waits belong in "
+        "utils/parallel.py (whose waits are bounded or abandonable) and "
+        "supervise/ (which owns the deadline machinery); everywhere else, "
+        "pass a timeout and handle the expiry.")
+
+    _ALLOWED_MODULES = ("utils/parallel.py",)
+
+    def _exempt(self, ctx: ModuleContext) -> bool:
+        sub = ctx.repro_subpath
+        if sub is None:      # tests, benchmarks, tools — out of scope
+            return True
+        return (sub.startswith("supervise/")
+                or ctx.is_module(*self._ALLOWED_MODULES))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BLOCKING_ATTRS):
+                continue
+            if node.args:
+                continue  # positional args rule out the blocking overloads
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            yield self.finding(
+                ctx, node,
+                f".{node.func.attr}() call with no timeout blocks "
+                "unboundedly on a hung task; pass timeout= (and handle "
+                "the expiry) or route the wait through utils/parallel "
+                "or repro.supervise")

@@ -140,6 +140,11 @@ class ComparisonStudy:
         :class:`~repro.core.tuner.ROBOTune` ``async_workers``); other
         tuners are unaffected.  Mutually exclusive with
         ``batch_size > 1``.
+    supervise:
+        Optional :class:`~repro.supervise.SupervisePolicy` for ROBOTune
+        sessions (requires ``async_workers >= 1``): deadlines,
+        reclaim-and-redispatch, speculation and poison-config quarantine
+        around every asynchronous evaluation.  See docs/ROBUSTNESS.md.
     trace_dir:
         Directory for per-session JSONL traces.  Each session gets its
         own file (``{tuner}-{workload}-{dataset}-trial{N}.jsonl``) and
@@ -164,6 +169,7 @@ class ComparisonStudy:
                  parallel_backend: str = "process",
                  batch_size: int = 1,
                  async_workers: int = 0,
+                 supervise=None,
                  trace_dir: str | Path | None = None,
                  base_seed: int = 0):
         if not 0.0 <= fault_rate <= 1.0:
@@ -177,10 +183,13 @@ class ComparisonStudy:
         if async_workers > 0 and batch_size > 1:
             raise ValueError("async_workers and batch_size > 1 are mutually "
                              "exclusive")
+        if supervise is not None and async_workers < 1:
+            raise ValueError("supervise requires async_workers >= 1")
         self.fault_rate = fault_rate
         self.retries = retries
         self.batch_size = batch_size
         self.async_workers = async_workers
+        self.supervise = supervise
         self.budget = budget
         self.trials = trials
         self.workloads = list(workloads or all_workload_names())
@@ -211,7 +220,8 @@ class ComparisonStudy:
                             selection_cache=stores["cache"],
                             memo_buffer=stores["memo"],
                             batch_size=self.batch_size,
-                            async_workers=self.async_workers, rng=rng)
+                            async_workers=self.async_workers,
+                            supervise=self.supervise, rng=rng)
         if name == "BestConfig":
             return BestConfig()
         if name == "Gunther":

@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--resume", action="store_true",
                         help="resume a killed session from --journal "
                              "(bit-identical for the same seed)")
+    p_tune.add_argument("--recover", default="redispatch",
+                        choices=["redispatch", "censor"],
+                        help="what --resume does with evaluations that were "
+                             "in flight at the kill point: re-execute them "
+                             "(default) or write them off as censored runs")
 
     p_cmp = sub.add_parser("compare", help="compare the four tuners")
     _common(p_cmp)
@@ -156,6 +161,23 @@ def _resilience(p: argparse.ArgumentParser) -> None:
                    help="max retries for transient failures, with "
                         "exponential backoff charged to search cost "
                         "(default: 2; 0 disables retrying)")
+    p.add_argument("--eval-timeout", type=float, default=None, metavar="S",
+                   dest="eval_timeout",
+                   help="supervised execution: hard per-evaluation wall "
+                        "clock deadline in seconds; overruns are abandoned "
+                        "and charged as censored runs (requires "
+                        "--async-workers >= 1) — see docs/ROBUSTNESS.md")
+    p.add_argument("--speculate", action="store_true",
+                   help="supervised execution: launch a speculative twin "
+                        "of a straggling evaluation on an idle worker "
+                        "slot; first completion wins (requires "
+                        "--eval-timeout)")
+    p.add_argument("--quarantine-after", type=int, default=3, metavar="K",
+                   dest="quarantine_after",
+                   help="strikes (deadline hits or worker deaths) before "
+                        "a configuration is quarantined as poison and "
+                        "never re-proposed (default: 3; used with "
+                        "--eval-timeout)")
 
 
 def _validate_resilience(args) -> str | None:
@@ -170,6 +192,16 @@ def _validate_resilience(args) -> str | None:
         return f"--faults rate must be in [0, 1], got {args.faults}"
     if hasattr(args, "retries") and args.retries < 0:
         return f"--retries must be >= 0, got {args.retries}"
+    if getattr(args, "eval_timeout", None) is not None:
+        if args.eval_timeout <= 0:
+            return f"--eval-timeout must be positive, got {args.eval_timeout}"
+        if getattr(args, "async_workers", 0) < 1:
+            return "--eval-timeout requires --async-workers >= 1 " \
+                   "(supervision wraps the asynchronous dispatch path)"
+    elif getattr(args, "speculate", False):
+        return "--speculate requires --eval-timeout S"
+    if getattr(args, "quarantine_after", 3) < 1:
+        return f"--quarantine-after must be >= 1, got {args.quarantine_after}"
     if getattr(args, "resume", False):
         if not args.journal:
             return "--resume requires --journal FILE"
@@ -181,6 +213,20 @@ def _validate_resilience(args) -> str | None:
         return f"journal {args.journal} already holds a session; " \
                "pass --resume to continue it or remove the file"
     return None
+
+
+def _supervise_policy(args):
+    """Build the --eval-timeout/--speculate/--quarantine-after policy.
+
+    Returns None when supervision is off (no --eval-timeout), keeping
+    the engine on its bit-reproducible unsupervised paths.
+    """
+    if getattr(args, "eval_timeout", None) is None:
+        return None
+    from .supervise import SupervisePolicy
+    return SupervisePolicy(eval_timeout_s=args.eval_timeout,
+                           speculate=bool(getattr(args, "speculate", False)),
+                           quarantine_after=args.quarantine_after)
 
 
 def _wrap_faults(objective, args, seed: int, tracer=None):
@@ -244,12 +290,14 @@ def cmd_tune(args) -> int:
     objective = _wrap_faults(objective, args, args.seed, tracer)
     tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
                      n_jobs=args.jobs, batch_size=args.batch,
-                     async_workers=args.async_workers, rng=args.seed)
+                     async_workers=args.async_workers,
+                     supervise=_supervise_policy(args), rng=args.seed)
     if args.journal:
         journal = EvaluationJournal(args.journal)
         if args.resume:
             result = tuner.resume(objective, args.budget, journal,
-                                  rng=args.seed, tracer=tracer)
+                                  rng=args.seed, tracer=tracer,
+                                  recover=args.recover)
         else:
             result = tuner.checkpoint(objective, args.budget, journal,
                                       rng=args.seed, tracer=tracer)
@@ -272,6 +320,10 @@ def cmd_tune(args) -> int:
         print(f"faults:          rate {args.faults:g}: {s['injected']} "
               f"injected, {s['transient']} transient failures surfaced, "
               f"{s['retries']} retries (+{s['backoff_s']:.0f}s backoff)")
+    if args.eval_timeout is not None:
+        print(f"supervised:      deadline {args.eval_timeout:g}s"
+              f"{', speculative twins' if args.speculate else ''}; "
+              f"{len(result.quarantined_configs)} config(s) quarantined")
     if args.journal:
         n = len(EvaluationJournal(args.journal))
         print(f"journal:         {args.journal} ({n} evaluations"
@@ -294,6 +346,7 @@ def cmd_compare(args) -> int:
     tuners = {"ROBOTune": lambda s: ROBOTune(n_jobs=args.jobs,
                                              batch_size=args.batch,
                                              async_workers=args.async_workers,
+                                             supervise=_supervise_policy(args),
                                              rng=s),
               "BestConfig": lambda s: BestConfig(),
               "Gunther": lambda s: Gunther(),

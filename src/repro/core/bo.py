@@ -14,7 +14,7 @@ L-BFGS-B refinement of the best candidate.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -25,6 +25,10 @@ from ..gp.kernels import Kernel
 from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import latin_hypercube
 from ..space.space import ConfigSpace
+from ..sparksim.result import RunStatus
+from ..supervise import (Completed, DeadlineHit, EvaluationSupervisor,
+                         SupervisePolicy)
+from ..supervise.quarantine import vector_key
 from ..tuners.base import Evaluation
 from ..utils.parallel import WorkerPool, parallel_map
 from ..utils.rng import as_generator
@@ -33,6 +37,22 @@ from .hedge import GPHedge
 from .penalize import LocalPenalizer
 
 __all__ = ["BOEngine", "BOIterationRecord"]
+
+
+def _spawn_capable(evaluate) -> bool:
+    """Can *evaluate* actually produce concurrent views?
+
+    Capabilities are looked up on the objective's *class* (delegating
+    wrappers forward unknown attributes, and borrowing the inner
+    objective's views would skip their bookkeeping).  Wrappers that do
+    implement ``spawn_view`` additionally expose ``spawn_view_capable``
+    so a spawnable wrapper around a non-spawnable inner objective still
+    degrades audibly instead of blowing up at dispatch time.
+    """
+    if getattr(type(evaluate), "spawn_view", None) is None:
+        return False
+    return bool(getattr(evaluate, "spawn_view_capable", True))
+
 
 #: Standardization floor: observation windows whose spread is below this
 #: (all evaluations censored at one cap, or a single repeated value) carry
@@ -164,6 +184,7 @@ class BOEngine:
                  early_stop_patience: int | None = None,
                  incremental: bool = False, gradients: bool = False,
                  batch_size: int = 1, async_workers: int = 0,
+                 supervise: SupervisePolicy | None = None,
                  refine_starts: int = 4,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None,
@@ -179,6 +200,12 @@ class BOEngine:
         if async_workers > 0 and batch_size > 1:
             raise ValueError("async_workers and batch_size > 1 are mutually "
                              "exclusive: async replaces constant-liar rounds")
+        if supervise is not None and not isinstance(supervise,
+                                                    SupervisePolicy):
+            raise TypeError("supervise must be a SupervisePolicy or None")
+        if supervise is not None and async_workers < 1:
+            raise ValueError("supervise requires async_workers >= 1 "
+                             "(supervision wraps the async dispatch path)")
         if refine_starts < 1:
             raise ValueError("refine_starts must be >= 1")
         self._kernel_template = kernel or default_bo_kernel()
@@ -196,6 +223,10 @@ class BOEngine:
         self.gradients = gradients
         self.batch_size = batch_size
         self.async_workers = async_workers
+        self.supervise = supervise
+        #: unit-cube vectors quarantined by the supervisor this run
+        #: (poison configurations that repeatedly hung or killed workers).
+        self.quarantined: list[np.ndarray] = []
         self.refine_starts = refine_starts
         self._warned_serial = False
         self.n_jobs = n_jobs
@@ -233,6 +264,9 @@ class BOEngine:
         """
         if budget < 0:
             raise ValueError("budget must be >= 0")
+        if self.supervise is not None:
+            return self._minimize_supervised(evaluate, space, initial,
+                                             budget, guard)
         if self.async_workers > 0:
             return self._minimize_async(evaluate, space, initial, budget,
                                         guard)
@@ -356,7 +390,7 @@ class BOEngine:
             raise ValueError("BO requires at least one prior observation")
 
         k = self.async_workers
-        if k > 1 and getattr(type(evaluate), "spawn_view", None) is None:
+        if k > 1 and not _spawn_capable(evaluate):
             self._warn_serial_fallback(evaluate, k)
             k = 1
         # One worker needs no thread: the serial pool backend runs the
@@ -417,6 +451,162 @@ class BOEngine:
                         # (their cost is already paid).
                         stop = True
         return evals
+
+    # -- supervised asynchronous mode ------------------------------------------------
+    def _minimize_supervised(self, evaluate, space: ConfigSpace,
+                             initial: Sequence[Evaluation], budget: int,
+                             guard: MedianGuard | None) -> list[Evaluation]:
+        """:meth:`_minimize_async` under an :class:`EvaluationSupervisor`.
+
+        Every dispatch is accountable: an evaluation that blows its
+        deadline, or whose worker dies with redispatch exhausted, is
+        charged to the search as a censored-at-cap outcome (status
+        TIMEOUT/RUNTIME_ERROR, ``transient=True``,
+        ``fault="deadline"``/``"worker_death"``) and folded into the GP
+        like any other observation, so the loop always completes its
+        budget.  Configurations quarantined by the supervisor (repeat
+        offenders) are excluded from re-proposal for the rest of the run
+        and collected in :attr:`quarantined`.  The pool always uses the
+        thread backend — deadline enforcement requires the driver thread
+        to stay free to abandon a wedged task — which is why supervised
+        runs are not bit-reproducible (docs/ROBUSTNESS.md).
+        """
+        evals: list[Evaluation] = []
+        X = [np.asarray(e.vector, dtype=float) for e in initial]
+        y = [float(e.objective) for e in initial]
+        if guard is not None:
+            for e in initial:
+                guard.observe(e.cost_s, e.ok)
+        if not X:
+            raise ValueError("BO requires at least one prior observation")
+
+        policy = self.supervise
+        k = self.async_workers
+        capable = _spawn_capable(evaluate)
+        if not capable:
+            if k > 1:
+                self._warn_serial_fallback(evaluate, k)
+                k = 1
+            if policy.speculate:
+                # A twin would run the one shared objective concurrently
+                # with its original; without views that is unsafe.
+                policy = replace(policy, speculate=False)
+        record_censored = getattr(evaluate, "record_censored", None)
+
+        since_improve = 0
+        best_so_far = min(y)
+        pending: dict[int, np.ndarray] = {}
+        choices: dict[int, object] = {}
+        thresholds: dict[int, float | None] = {}
+        blocked: set[bytes] = set()
+        issued = 0
+        folded = 0
+        stop = False
+        with WorkerPool(k, backend="thread", tracer=self._tracer) as pool:
+            supervisor = EvaluationSupervisor(pool, policy,
+                                              tracer=self._tracer)
+            while folded < budget:
+                while (not stop and issued < budget
+                       and supervisor.in_flight < k
+                       and supervisor.free_slots > 0):
+                    self._tracer.count("async.idle_worker_slots",
+                                       k - supervisor.in_flight)
+                    with self._tracer.timer("async.propose"):
+                        u, choice = self._propose(space, X, y, len(evals),
+                                                  list(pending.values()))
+                        # Quarantined configs never run again: redraw
+                        # space-filling replacements (the bound only
+                        # matters in degenerate toy spaces where LHS can
+                        # keep landing on a blocked grid cell).
+                        for _ in range(32):
+                            if vector_key(u) not in blocked:
+                                break
+                            choice = None
+                            u = space.snap(
+                                latin_hypercube(1, space.dim, self._rng)[0])
+                    threshold = guard.threshold_s() if guard is not None \
+                        else None
+                    idx = issued
+                    pending[idx] = u
+                    choices[idx] = choice
+                    thresholds[idx] = threshold
+
+                    def factory(v=u, t=threshold):
+                        # Called by the supervisor once per physical
+                        # dispatch, on this thread: a redispatch or
+                        # speculative twin gets a fresh objective view.
+                        runner = evaluate.spawn_view() if capable \
+                            else evaluate
+                        return lambda r=runner: r(v, t)
+
+                    supervisor.submit(factory, tag=idx, key=vector_key(u))
+                    issued += 1
+                    self._tracer.emit("async.dispatch",
+                                      {"i": idx,
+                                       "in_flight": supervisor.in_flight})
+                if supervisor.in_flight == 0:
+                    break
+                with self._tracer.timer("async.wait"):
+                    outcome = supervisor.next_outcome()
+                idx = outcome.tag
+                u = pending.pop(idx)
+                choice = choices.pop(idx)
+                threshold = thresholds.pop(idx)
+                if isinstance(outcome, Completed):
+                    ev = outcome.result
+                else:
+                    ev = self._censor_outcome(evaluate, space, u, y, outcome)
+                    if record_censored is not None:
+                        record_censored(ev)
+                    if outcome.quarantined:
+                        blocked.add(vector_key(u))
+                        self.quarantined.append(
+                            np.asarray(u, dtype=float).copy())
+                self._fold_in(ev, u, choice, threshold, folded, evals, X, y,
+                              guard)
+                self._tracer.emit("async.fold",
+                                  {"i": idx,
+                                   "in_flight": supervisor.in_flight})
+                folded += 1
+                if ev.objective < best_so_far - 1e-9:
+                    best_so_far = ev.objective
+                    since_improve = 0
+                else:
+                    since_improve += 1
+                    if (self.early_stop_patience is not None
+                            and since_improve >= self.early_stop_patience):
+                        stop = True
+        return evals
+
+    def _censor_outcome(self, evaluate, space: ConfigSpace, u: np.ndarray,
+                        y: list[float], outcome) -> Evaluation:
+        """Synthesize the censored evaluation for a supervisor verdict.
+
+        The run never returned, so the objective is censored "at least
+        this bad": the objective's own censoring hook at the full cap
+        when it has one, else the cap itself, else the worst observation
+        so far (never ``inf`` — it would wreck GP standardization).  The
+        cap is charged to search cost: that is what a real cluster spent
+        before the watchdog gave up on the evaluation.
+        """
+        conf = space.decode(u)
+        limit = getattr(evaluate, "time_limit_s", None)
+        censor = getattr(evaluate, "censor_value", None)
+        if censor is not None:
+            objective = float(censor(conf, None))
+        elif limit is not None:
+            objective = float(limit)
+        else:
+            objective = float(max(y))
+        cost = float(limit) if limit is not None else objective
+        if isinstance(outcome, DeadlineHit):
+            status, fault = RunStatus.TIMEOUT, "deadline"
+        else:
+            status, fault = RunStatus.RUNTIME_ERROR, "worker_death"
+        return Evaluation(vector=np.asarray(u, dtype=float).copy(),
+                          config=conf, objective=objective, cost_s=cost,
+                          status=status, truncated=True, transient=True,
+                          fault=fault)
 
     def _propose(self, space: ConfigSpace, X: list[np.ndarray],
                  y: list[float], n_evals: int,
@@ -681,7 +871,7 @@ class BOEngine:
         if len(points) > 1:
             if getattr(type(evaluate), "evaluate_batch", None) is not None:
                 return evaluate.evaluate_batch(points, threshold)
-            if getattr(type(evaluate), "spawn_view", None) is not None:
+            if _spawn_capable(evaluate):
                 views = [evaluate.spawn_view() for _ in points]
 
                 def _run(idx: int) -> Evaluation:

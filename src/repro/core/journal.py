@@ -18,12 +18,25 @@ state *after* the evaluation, which is what makes resume bit-identical:
 A torn final line (the classic crash artifact) is tolerated: parsing
 stops at the first corrupt line and the session resumes from the last
 intact record.
+
+Format version 2 adds **dispatch/settle pairs** for crash-safe
+*in-flight* recovery (docs/ROBUSTNESS.md, "Supervised execution"): a
+``dispatch`` record (sequence number + vector) is written durably
+*before* an evaluation executes, and its ``eval`` record settles the
+same sequence number afterwards.  A dispatch with no matching settle is
+exactly the work that was in flight when the process died; on resume it
+is either re-executed (``recover="redispatch"``, the default — the
+deterministic replay re-proposes the same vector, so the fault-free case
+stays bit-identical) or written off as censored-at-cap
+(``recover="censor"``).  Version-1 journals (no dispatch records) load
+unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,9 +47,13 @@ import numpy as np
 from ..sparksim.result import RunStatus
 from ..tuners.base import Evaluation
 
-__all__ = ["EvaluationJournal", "JournaledObjective", "EvalRecord"]
+__all__ = ["EvaluationJournal", "JournaledObjective", "EvalRecord",
+           "DispatchRecord", "RECOVER_MODES"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: How resume treats dispatches that never settled (in flight at crash).
+RECOVER_MODES = ("redispatch", "censor")
 
 
 def _jsonable(value: Any) -> Any:
@@ -46,6 +63,14 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         return value.tolist()
     raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """A durably recorded *intent* to evaluate (written before execution)."""
+
+    seq: int
+    vector: list[float]
 
 
 @dataclass(frozen=True)
@@ -62,6 +87,7 @@ class EvalRecord:
     fault: str | None
     attempts: int
     rng_state: dict[str, Any] | None
+    seq: int | None = None  # settles the dispatch with this sequence number
 
     def to_evaluation(self) -> Evaluation:
         return Evaluation(
@@ -93,6 +119,7 @@ class EvaluationJournal:
         self.path = Path(path)
         self._fsync = fsync
         self._fh: TextIO | None = None
+        self._lock = threading.Lock()  # spawned views append concurrently
 
     # -- writing ------------------------------------------------------------------
     def write_meta(self, meta: Mapping[str, Any]) -> None:
@@ -109,10 +136,19 @@ class EvaluationJournal:
         self._write_line({"kind": "meta", "version": _FORMAT_VERSION,
                           **dict(meta)})
 
-    def append(self, evaluation: Evaluation,
-               rng_state: dict[str, Any] | None = None) -> None:
-        """Durably record one finished evaluation."""
+    def append_dispatch(self, seq: int, vector: Any) -> None:
+        """Durably record that evaluation *seq* is about to execute."""
         self._write_line({
+            "kind": "dispatch",
+            "seq": int(seq),
+            "vector": [float(v) for v in np.asarray(vector)],
+        })
+
+    def append(self, evaluation: Evaluation,
+               rng_state: dict[str, Any] | None = None, *,
+               seq: int | None = None) -> None:
+        """Durably record one finished evaluation (settling *seq* if given)."""
+        payload: dict[str, Any] = {
             "kind": "eval",
             "vector": [float(v) for v in np.asarray(evaluation.vector)],
             "config": dict(evaluation.config),
@@ -124,16 +160,20 @@ class EvaluationJournal:
             "fault": evaluation.fault,
             "attempts": int(evaluation.attempts),
             "rng_state": rng_state,
-        })
+        }
+        if seq is not None:
+            payload["seq"] = int(seq)
+        self._write_line(payload)
 
     def _write_line(self, payload: dict[str, Any]) -> None:
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(payload, default=_jsonable) + "\n")
-        self._fh.flush()
-        if self._fsync:
-            os.fsync(self._fh.fileno())
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(payload, default=_jsonable) + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:
@@ -142,11 +182,30 @@ class EvaluationJournal:
 
     # -- reading ------------------------------------------------------------------
     def load(self) -> tuple[dict[str, Any], list[EvalRecord]]:
-        """(meta, records); parsing stops at the first corrupt line."""
+        """(meta, settled records); parsing stops at the first corrupt line."""
+        meta, records, _ = self._read()
+        return meta, records
+
+    def pending_dispatches(self) -> list[DispatchRecord]:
+        """Dispatches with no settling ``eval`` record: in flight at crash."""
+        _, records, dispatches = self._read()
+        settled = {rec.seq for rec in records if rec.seq is not None}
+        return [d for d in dispatches if d.seq not in settled]
+
+    def next_seq(self) -> int:
+        """First unused dispatch sequence number for a resumed session."""
+        _, records, dispatches = self._read()
+        used = [d.seq for d in dispatches]
+        used.extend(rec.seq for rec in records if rec.seq is not None)
+        return max(used, default=-1) + 1
+
+    def _read(self) -> tuple[dict[str, Any], list[EvalRecord],
+                             list[DispatchRecord]]:
         if not self.path.exists():
             raise FileNotFoundError(f"no journal at {self.path}")
         meta: dict[str, Any] = {}
         records: list[EvalRecord] = []
+        dispatches: list[DispatchRecord] = []
         with open(self.path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -159,6 +218,9 @@ class EvaluationJournal:
                 if payload.get("kind") == "meta":
                     meta = {k: v for k, v in payload.items()
                             if k not in ("kind", "version")}
+                elif payload.get("kind") == "dispatch":
+                    dispatches.append(DispatchRecord(
+                        seq=payload["seq"], vector=payload["vector"]))
                 elif payload.get("kind") == "eval":
                     records.append(EvalRecord(
                         vector=payload["vector"],
@@ -171,8 +233,9 @@ class EvaluationJournal:
                         fault=payload.get("fault"),
                         attempts=payload.get("attempts", 1),
                         rng_state=payload.get("rng_state"),
+                        seq=payload.get("seq"),
                     ))
-        return meta, records
+        return meta, records, dispatches
 
     def __len__(self) -> int:
         """Number of intact evaluation records on disk."""
@@ -184,9 +247,9 @@ class EvaluationJournal:
 class JournaledObjective:
     """Objective wrapper that records to — or replays from — a journal.
 
-    In **recording** mode (``replay=None``) every live evaluation is
-    appended to the journal together with the objective's RNG snapshot;
-    decisions are untouched.
+    In **recording** mode (``replay=None``) every live evaluation writes
+    a ``dispatch`` record *before* executing and settles it afterwards
+    together with the objective's RNG snapshot; decisions are untouched.
 
     In **replay** mode the queued records are served in order *without*
     executing anything (the fault injector's evaluation index is advanced
@@ -196,16 +259,37 @@ class JournaledObjective:
     between a replayed record and what the tuner asked to evaluate means
     the journal belongs to a different session (seed or configuration
     drift) and raises immediately rather than returning wrong data.
+
+    Dispatches that never settled (in flight when the process died) are
+    handled per *recover*: ``"redispatch"`` simply re-executes them when
+    the deterministic replay re-proposes their vectors — bit-identical
+    for the fault-free fixed-seed case — while ``"censor"`` writes each
+    one off as a censored-at-cap evaluation without re-paying its
+    cluster time (documented as not bit-identical: the objective's noise
+    stream is not consumed).
+
+    Views share the journal, the replay queue and the sequence counter,
+    so concurrent evaluation under ``async_workers > 1`` journals safely
+    (:meth:`spawn_view` requires the wrapped objective to be spawnable).
     """
 
     def __init__(self, objective: Any, journal: EvaluationJournal, *,
-                 replay: list[EvalRecord] | None = None) -> None:
+                 replay: list[EvalRecord] | None = None,
+                 pending: list[DispatchRecord] | None = None,
+                 next_seq: int = 0, recover: str = "redispatch") -> None:
+        if recover not in RECOVER_MODES:
+            raise ValueError(
+                f"recover must be one of {RECOVER_MODES}, got {recover!r}")
         self._objective = objective
         self._journal = journal
         self._shared: dict[str, Any] = {"queue": deque(replay or ()),
                         "restored": not replay,
                         "last_state": None,
-                        "replayed": 0}
+                        "replayed": 0,
+                        "pending": list(pending or ()),
+                        "next_seq": int(next_seq),
+                        "recover": recover,
+                        "lock": threading.Lock()}
 
     # -- Objective protocol -------------------------------------------------------
     @property
@@ -222,6 +306,21 @@ class JournaledObjective:
         clone._objective = self._objective.with_space(space)
         return clone
 
+    def spawn_view(self) -> "JournaledObjective":
+        """A view for one concurrent evaluation (shares journal + queue)."""
+        clone = object.__new__(JournaledObjective)
+        clone.__dict__ = dict(self.__dict__)
+        clone._objective = self._objective.spawn_view()
+        return clone
+
+    @property
+    def spawn_view_capable(self) -> bool:
+        """True when the wrapped objective can actually spawn views."""
+        inner = self.__dict__["_objective"]
+        if getattr(type(inner), "spawn_view", None) is None:
+            return False
+        return bool(getattr(inner, "spawn_view_capable", True))
+
     def __getattr__(self, name: str) -> Any:
         return getattr(self.__dict__["_objective"], name)
 
@@ -230,15 +329,61 @@ class JournaledObjective:
         """Evaluations served from the journal instead of executed."""
         return self._shared["replayed"]
 
+    @property
+    def n_pending(self) -> int:
+        """Unsettled dispatches not yet recovered."""
+        return len(self._shared["pending"])
+
     # -- evaluation ---------------------------------------------------------------
+    def record_censored(self, evaluation: Evaluation) -> None:
+        """Journal an evaluation that was synthesized, not executed.
+
+        The supervision layer calls this for deadline hits and poison
+        quarantines: the censored-at-cap outcome must be durable (it was
+        folded into the surrogate) even though no objective call, and
+        hence no recording ``__call__``, ever finished.
+        """
+        with self._shared["lock"]:
+            seq = self._shared["next_seq"]
+            self._shared["next_seq"] = seq + 1
+        self._journal.append_dispatch(seq, evaluation.vector)
+        self._journal.append(evaluation, None, seq=seq)
+
+    def _recover_censored(self, rec: DispatchRecord, u: np.ndarray,
+                          time_limit_s: float | None) -> Evaluation:
+        """Write one crashed in-flight dispatch off as censored-at-cap."""
+        limit = self._objective.time_limit_s if time_limit_s is None \
+            else float(time_limit_s)
+        conf = self._objective.space.decode(u)
+        censor = getattr(self._objective, "censor_value", None)
+        objective = float(censor(conf, None)) if censor is not None \
+            else float(limit)
+        ev = Evaluation(
+            vector=np.asarray(u, dtype=float).copy(),
+            config=conf,
+            objective=objective,
+            cost_s=float(limit),
+            status=RunStatus.TIMEOUT,
+            truncated=True,
+            transient=True,
+            fault="crash_recovery",
+        )
+        skip = getattr(self._objective, "skip", None)
+        if skip is not None:
+            skip(1)
+        self._journal.append(ev, None, seq=rec.seq)
+        return ev
+
     def __call__(self, u: np.ndarray,
                  time_limit_s: float | None = None) -> Evaluation:
-        queue = self._shared["queue"]
-        if queue:
-            rec = queue.popleft()
-            self._shared["replayed"] += 1
-            if rec.rng_state is not None:
-                self._shared["last_state"] = rec.rng_state
+        with self._shared["lock"]:
+            rec = self._shared["queue"].popleft() \
+                if self._shared["queue"] else None
+            if rec is not None:
+                self._shared["replayed"] += 1
+                if rec.rng_state is not None:
+                    self._shared["last_state"] = rec.rng_state
+        if rec is not None:
             ev = rec.to_evaluation()
             u_arr = np.asarray(u, dtype=float)
             if ev.vector.shape != u_arr.shape \
@@ -257,7 +402,37 @@ class JournaledObjective:
             set_state = getattr(self._objective, "set_rng_state", None)
             if state is not None and set_state is not None:
                 set_state(state)
+        u_arr = np.asarray(u, dtype=float)
+        if self._shared["recover"] == "censor":
+            with self._shared["lock"]:
+                crashed: DispatchRecord | None = None
+                for pending in self._shared["pending"]:
+                    vec = np.asarray(pending.vector, dtype=float)
+                    if vec.shape == u_arr.shape \
+                            and np.array_equal(vec, u_arr):
+                        crashed = pending
+                        break
+                if crashed is not None:
+                    self._shared["pending"].remove(crashed)
+            if crashed is not None:
+                return self._recover_censored(crashed, u_arr, time_limit_s)
+        with self._shared["lock"]:
+            seq = self._shared["next_seq"]
+            self._shared["next_seq"] = seq + 1
+            # A re-executed vector settles its original dispatch record.
+            redispatched: DispatchRecord | None = None
+            for pending in self._shared["pending"]:
+                vec = np.asarray(pending.vector, dtype=float)
+                if vec.shape == u_arr.shape and np.array_equal(vec, u_arr):
+                    redispatched = pending
+                    break
+            if redispatched is not None:
+                self._shared["pending"].remove(redispatched)
+                seq = redispatched.seq
+                self._shared["next_seq"] -= 1
+        if redispatched is None:
+            self._journal.append_dispatch(seq, u_arr)
         ev = self._objective(u, time_limit_s)
         get_state = getattr(self._objective, "rng_state", None)
-        self._journal.append(ev, get_state() if get_state else None)
+        self._journal.append(ev, get_state() if get_state else None, seq=seq)
         return ev

@@ -98,21 +98,54 @@ class ConfigMemoizationBuffer:
         self.capacity = capacity
         self._path = Path(path) if path is not None else None
         self._table: dict[str, list[MemoizedConfig]] = {}
+        self._blocked: dict[str, list[dict[str, Any]]] = {}
         #: observation hook (rebound per traced session by ROBOTune).
         self.tracer = NULL_TRACER
         if self._path is not None and self._path.exists():
             raw = json.loads(self._path.read_text())
+            blocked = raw.pop("__blocked__", {}) if isinstance(raw, dict) \
+                else {}
             self._table = {
                 k: [MemoizedConfig(m["config"], float(m["objective"]),
                                    m.get("dataset", ""))
                     for m in v]
                 for k, v in raw.items()
             }
+            self._blocked = {k: [dict(c) for c in v]
+                             for k, v in blocked.items()}
+
+    def block(self, workload: str, config: Mapping[str, Any]) -> None:
+        """Quarantine a poison configuration (docs/ROBUSTNESS.md).
+
+        A config the supervisor quarantined (it repeatedly hung or killed
+        workers) must never seed a future session: it is dropped from the
+        buffer if present and excluded from :meth:`add`/:meth:`best` from
+        now on.  The blocklist persists alongside the buffer.
+        """
+        snap = dict(config)
+        bucket = self._blocked.setdefault(workload, [])
+        if snap not in bucket:
+            bucket.append(snap)
+        kept = self._table.get(workload)
+        if kept is not None:
+            kept[:] = [m for m in kept if m.config != snap]
+        self.tracer.emit("memo.block", {"store": "config_buffer",
+                                        "workload": workload,
+                                        "blocked": len(bucket)})
+        self._flush()
+
+    def is_blocked(self, workload: str, config: Mapping[str, Any]) -> bool:
+        return dict(config) in self._blocked.get(workload, [])
 
     def add(self, workload: str, config: Mapping[str, Any], objective: float,
             *, dataset: str = "") -> None:
-        """Record a tuned configuration and its achieved time."""
+        """Record a tuned configuration and its achieved time.
+
+        Blocked (quarantined) configurations are silently refused.
+        """
         entry = MemoizedConfig(dict(config), float(objective), dataset)
+        if self.is_blocked(workload, entry.config):
+            return
         bucket = self._table.setdefault(workload, [])
         bucket.append(entry)
         bucket.sort(key=lambda m: m.objective)
@@ -127,7 +160,8 @@ class ConfigMemoizationBuffer:
         """Up to *k* best remembered configs (empty list on a miss)."""
         if k < 0:
             raise ValueError("k must be >= 0")
-        found = list(self._table.get(workload, ()))[:k]
+        found = [m for m in self._table.get(workload, ())
+                 if not self.is_blocked(workload, m.config)][:k]
         if k > 0:
             if found:
                 self.tracer.emit("memo.hit", {"store": "config_buffer",
@@ -147,9 +181,11 @@ class ConfigMemoizationBuffer:
     def _flush(self) -> None:
         if self._path is None:
             return
-        raw = {
+        raw: dict[str, Any] = {
             k: [{"config": m.config, "objective": m.objective,
                  "dataset": m.dataset} for m in v]
             for k, v in self._table.items()
         }
+        if self._blocked:
+            raw["__blocked__"] = self._blocked
         self._path.write_text(json.dumps(raw, indent=2))  # repro: noqa RPF002 -- memo buffer persistence is a warm-start cache (idempotent full rewrite), not journaled evaluation state

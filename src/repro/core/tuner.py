@@ -23,6 +23,7 @@ from ..sampling.lhs import maximin_latin_hypercube
 from ..space.space import ConfigSpace
 from ..tuners.base import (Evaluation, Objective, Tuner, TuningResult,
                            workload_key)
+from ..supervise import SupervisePolicy
 from ..utils.rng import as_generator
 from .bo import BOEngine, BOIterationRecord
 from .guard import MedianGuard
@@ -43,6 +44,8 @@ class ROBOTuneResult(TuningResult):
     reduced_space: ConfigSpace | None = None
     base_config: dict | None = None
     bo_records: list[BOIterationRecord] = field(default_factory=list)
+    #: configurations the supervisor quarantined as poison this session.
+    quarantined_configs: list[dict] = field(default_factory=list)
 
 
 class ROBOTune(Tuner):
@@ -74,6 +77,14 @@ class ROBOTune(Tuner):
         ``k >= 1`` keeps ``k`` evaluations in flight with busy-point
         penalization, folding completions into the surrogate as they
         land.  Mutually exclusive with ``batch_size > 1``.
+    supervise:
+        Optional :class:`repro.supervise.SupervisePolicy` (forwarded to
+        :class:`BOEngine`; requires ``async_workers >= 1``).  Enables
+        per-evaluation deadlines, reclaim-and-redispatch, speculative
+        re-execution and poison-config quarantine; vectors the
+        supervisor quarantines are additionally blocked out of the
+        memoization buffer after the session so they never seed a future
+        one.  See docs/ROBUSTNESS.md.
     engine_kwargs:
         Extra arguments forwarded to :class:`BOEngine` (portfolio, candidate
         counts, early stopping, gradients, ...).
@@ -97,6 +108,7 @@ class ROBOTune(Tuner):
                  store_results: int = 4,
                  batch_size: int = 1,
                  async_workers: int = 0,
+                 supervise: SupervisePolicy | None = None,
                  engine_kwargs: dict | None = None,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
@@ -119,11 +131,15 @@ class ROBOTune(Tuner):
             raise ValueError("batch_size must be >= 1")
         if async_workers < 0:
             raise ValueError("async_workers must be >= 0")
+        if supervise is not None and async_workers < 1:
+            raise ValueError("supervise requires async_workers >= 1")
         self.batch_size = batch_size
         self.async_workers = async_workers
+        self.supervise = supervise
         self.engine_kwargs = dict(engine_kwargs or {})
         self.engine_kwargs.setdefault("batch_size", batch_size)
         self.engine_kwargs.setdefault("async_workers", async_workers)
+        self.engine_kwargs.setdefault("supervise", supervise)
         # The engine shares the worker budget: it parallelizes GP
         # multi-start fits and batched evaluations, both of which return
         # identical results for any worker count.
@@ -214,6 +230,13 @@ class ROBOTune(Tuner):
                                                init_evals, remaining, guard)
                 result.evaluations.extend(bo_evals)
                 result.bo_records = engine.records
+                # Poison configs the supervisor quarantined must never
+                # seed a future session through the memo buffer.
+                for u in engine.quarantined:
+                    conf = dict(reduced.decode(u))
+                    result.quarantined_configs.append(conf)
+                    if cache_key:
+                        self.memo_buffer.block(cache_key, conf)
 
             # ---- memoize the well-tuned configurations ------------------------
             if cache_key:

@@ -5,9 +5,10 @@ this composes with the crash-safe evaluation journal
 (:mod:`repro.core.journal`).
 """
 
-from .injector import FaultInjector
-from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .injector import FaultInjector, HangInjector, WorkerDeath
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, HangEvent, HangPlan
 from .retry import RetryPolicy
 
 __all__ = ["FaultPlan", "FaultEvent", "FaultInjector", "RetryPolicy",
-           "FAULT_KINDS"]
+           "FAULT_KINDS", "HangPlan", "HangEvent", "HangInjector",
+           "WorkerDeath"]

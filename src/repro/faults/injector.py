@@ -30,6 +30,7 @@ surrogate model.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 
 import numpy as np
@@ -37,10 +38,10 @@ import numpy as np
 from ..obs import as_tracer
 from ..sparksim.result import RunStatus
 from ..tuners.base import Evaluation
-from .plan import FaultEvent, FaultPlan
+from .plan import FaultEvent, FaultPlan, HangEvent, HangPlan
 from .retry import RetryPolicy
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "HangInjector", "WorkerDeath"]
 
 
 class FaultInjector:
@@ -68,10 +69,13 @@ class FaultInjector:
         self.plan = plan
         self.retry = retry
         self.tracer = as_tracer(tracer)
-        # Shared across with_space views so the evaluation index (the
-        # fault plan's coordinate) is global to the tuning session.
+        # Shared across with_space/spawn_view views so the evaluation
+        # index (the fault plan's coordinate) is global to the tuning
+        # session; the lock keeps index claims atomic when views run
+        # concurrently under async_workers > 1.
         self._shared = {"index": 0, "injected": 0, "transient": 0,
-                        "retries": 0, "backoff_s": 0.0}
+                        "retries": 0, "backoff_s": 0.0,
+                        "lock": threading.Lock()}
 
     # -- Objective protocol -------------------------------------------------------
     @property
@@ -89,6 +93,27 @@ class FaultInjector:
         clone._objective = self._objective.with_space(space)
         return clone
 
+    def spawn_view(self) -> "FaultInjector":
+        """A view for one concurrent evaluation (async dispatch path).
+
+        The view wraps a freshly spawned view of the inner objective but
+        shares the fault-plan index, counters and retry policy, so
+        retries with backoff run *on the worker* — charged to the
+        returned evaluation's ``cost_s`` exactly as in the serial loop.
+        """
+        clone = object.__new__(FaultInjector)
+        clone.__dict__ = dict(self.__dict__)
+        clone._objective = self._objective.spawn_view()
+        return clone
+
+    @property
+    def spawn_view_capable(self) -> bool:
+        """True when the wrapped objective can actually spawn views."""
+        inner = self.__dict__["_objective"]
+        if getattr(type(inner), "spawn_view", None) is None:
+            return False
+        return bool(getattr(inner, "spawn_view_capable", True))
+
     def __getattr__(self, name: str):
         # Delegate everything else (workload, simulator, n_evaluations,
         # rng_state/set_rng_state, ...) to the wrapped objective.
@@ -98,18 +123,20 @@ class FaultInjector:
         """Advance the fault-plan index without executing (journal replay)."""
         if n < 0:
             raise ValueError("n must be >= 0")
-        self._shared["index"] += n
+        with self._shared["lock"]:
+            self._shared["index"] += n
 
     @property
     def stats(self) -> dict:
         """Injection counters: injected, transient, retries, backoff_s."""
-        return dict(self._shared)
+        return {k: v for k, v in self._shared.items() if k != "lock"}
 
     # -- evaluation ---------------------------------------------------------------
     def __call__(self, u: np.ndarray,
                  time_limit_s: float | None = None) -> Evaluation:
-        index = self._shared["index"]
-        self._shared["index"] = index + 1
+        with self._shared["lock"]:
+            index = self._shared["index"]
+            self._shared["index"] = index + 1
         max_attempts = 1 + (self.retry.max_retries if self.retry else 0)
         spent = 0.0
         for attempt in range(max_attempts):
@@ -117,8 +144,9 @@ class FaultInjector:
             if ev.transient and attempt + 1 < max_attempts:
                 wait = self.retry.delay_s(attempt)
                 spent += ev.cost_s + wait
-                self._shared["retries"] += 1
-                self._shared["backoff_s"] += wait
+                with self._shared["lock"]:
+                    self._shared["retries"] += 1
+                    self._shared["backoff_s"] += wait
                 self.tracer.emit("retry.attempt",
                                  {"index": index, "attempt": attempt,
                                   "wait_s": float(wait)})
@@ -126,7 +154,8 @@ class FaultInjector:
                 continue
             break
         if ev.transient:
-            self._shared["transient"] += 1
+            with self._shared["lock"]:
+                self._shared["transient"] += 1
         if spent > 0.0 or attempt > 0:
             ev = replace(ev, cost_s=ev.cost_s + spent, attempts=attempt + 1)
         return ev
@@ -137,7 +166,8 @@ class FaultInjector:
         ev = self._objective(u, time_limit_s)
         if event is None:
             return ev
-        self._shared["injected"] += 1
+        with self._shared["lock"]:
+            self._shared["injected"] += 1
         self.tracer.emit("fault.injected",
                          {"index": index, "attempt": attempt,
                           "kind": event.kind, "aborts": bool(event.aborts)})
@@ -208,3 +238,129 @@ class FaultInjector:
         if censor is not None:
             return float(censor(config, limit_s))
         return float(limit_s if limit_s is not None else self.time_limit_s)
+
+
+class WorkerDeath(RuntimeError):
+    """An injected worker death: the evaluation's worker died mid-run.
+
+    Raised *before* the wrapped objective executes, so a supervised
+    redispatch re-runs the evaluation from scratch — exactly what a real
+    evaluator process crash looks like to the engine.
+    """
+
+
+class HangInjector:
+    """Wrap an objective with deterministic liveness faults.
+
+    The liveness analogue of :class:`FaultInjector`: where that class
+    perturbs *outcomes* (aborts, slowdowns), this one perturbs
+    *liveness* — the evaluation hangs for a bounded stretch of real
+    wall-clock time, or its worker dies outright
+    (:class:`WorkerDeath`).  It exists to exercise the supervision layer
+    (``repro.supervise``): deadlines, heartbeat reclaim, speculation and
+    poison-config quarantine.
+
+    Parameters
+    ----------
+    objective:
+        The wrapped objective (or another injector).
+    plan:
+        A :class:`~repro.faults.plan.HangPlan`.
+    poison:
+        Optional predicate on the unit-cube vector; a matching config
+        *always* draws ``poison_kind``, every attempt — a deterministic
+        repeat offender for quarantine tests.
+    poison_kind:
+        ``"worker_death"`` (default) or ``"hang"``.
+    tracer:
+        Optional tracer; each injection emits a ``fault.injected`` event.
+    """
+
+    def __init__(self, objective, plan: HangPlan, *, poison=None,
+                 poison_kind: str = "worker_death", tracer=None):
+        if poison_kind not in ("worker_death", "hang"):
+            raise ValueError(
+                f"poison_kind must be 'worker_death' or 'hang', "
+                f"got {poison_kind!r}")
+        self._objective = objective
+        self.plan = plan
+        self.tracer = as_tracer(tracer)
+        self._poison = poison
+        self._poison_kind = poison_kind
+        self._shared = {"index": 0, "hangs": 0, "deaths": 0,
+                        "lock": threading.Lock()}
+
+    # -- Objective protocol -------------------------------------------------------
+    @property
+    def space(self):
+        return self._objective.space
+
+    @property
+    def time_limit_s(self) -> float:
+        return self._objective.time_limit_s
+
+    def with_space(self, space) -> "HangInjector":
+        clone = object.__new__(HangInjector)
+        clone.__dict__ = dict(self.__dict__)
+        clone._objective = self._objective.with_space(space)
+        return clone
+
+    def spawn_view(self) -> "HangInjector":
+        clone = object.__new__(HangInjector)
+        clone.__dict__ = dict(self.__dict__)
+        clone._objective = self._objective.spawn_view()
+        return clone
+
+    @property
+    def spawn_view_capable(self) -> bool:
+        inner = self.__dict__["_objective"]
+        if getattr(type(inner), "spawn_view", None) is None:
+            return False
+        return bool(getattr(inner, "spawn_view_capable", True))
+
+    def __getattr__(self, name: str):
+        return getattr(self.__dict__["_objective"], name)
+
+    def skip(self, n: int = 1) -> None:
+        """Advance the plan index without executing (journal replay)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        with self._shared["lock"]:
+            self._shared["index"] += n
+        inner_skip = getattr(self.__dict__["_objective"], "skip", None)
+        if inner_skip is not None:
+            inner_skip(n)
+
+    @property
+    def stats(self) -> dict:
+        """Injection counters: index, hangs, deaths."""
+        return {k: v for k, v in self._shared.items() if k != "lock"}
+
+    # -- evaluation ---------------------------------------------------------------
+    def __call__(self, u: np.ndarray,
+                 time_limit_s: float | None = None) -> Evaluation:
+        with self._shared["lock"]:
+            index = self._shared["index"]
+            self._shared["index"] = index + 1
+        if self._poison is not None \
+                and self._poison(np.asarray(u, dtype=float)):
+            event = HangEvent(self._poison_kind, hang_s=self.plan.hang_s)
+        else:
+            event = self.plan.draw(index, 0)
+        if event is not None:
+            self.tracer.emit("fault.injected",
+                             {"index": index, "attempt": 0,
+                              "kind": event.kind,
+                              "aborts": event.kind == "worker_death"})
+            self.tracer.count("faults.injected")
+            if event.kind == "worker_death":
+                with self._shared["lock"]:
+                    self._shared["deaths"] += 1
+                raise WorkerDeath(
+                    f"injected worker death at evaluation {index}")
+            with self._shared["lock"]:
+                self._shared["hangs"] += 1
+            # A bounded *real* wall-clock wedge: the supervisor's
+            # deadline should fire long before this returns.
+            threading.Event().wait(event.hang_s)
+        return self._objective(u, time_limit_s)

@@ -30,7 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS",
+           "HangEvent", "HangPlan"]
 
 #: (kind, selection weight) — must stay in a stable order for determinism.
 FAULT_KINDS: tuple[tuple[str, float], ...] = (
@@ -121,3 +122,78 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan(rate={self.rate}, seed={self.seed})"
+
+
+@dataclass(frozen=True)
+class HangEvent:
+    """A liveness fault: the worker hangs or dies mid-evaluation.
+
+    ``kind`` is ``"hang"`` (the evaluation wedges for ``hang_s`` of real
+    wall-clock time — bounded, so tests stay fast) or ``"worker_death"``
+    (the worker thread dies before producing a result).
+    """
+
+    kind: str
+    hang_s: float = 0.0
+
+
+class HangPlan:
+    """Deterministic liveness-fault plan for the supervision layer.
+
+    Same pure-coordinate contract as :class:`FaultPlan` — the draw for
+    ``(index, attempt)`` depends only on the constructor arguments — but
+    the injected trouble is about *liveness*, not outcomes: hangs and
+    worker deaths are what deadlines, heartbeat reclaim and speculative
+    re-execution exist to absorb (docs/ROBUSTNESS.md).
+
+    Parameters
+    ----------
+    rate:
+        Probability an evaluation attempt draws a liveness fault.
+    seed:
+        Plan seed.
+    hang_s:
+        Real seconds a hanging evaluation wedges before returning (the
+        supervisor's deadline should fire well before this).
+    death_share:
+        Fraction of liveness faults that are worker deaths rather than
+        hangs.
+    poison:
+        Optional set of evaluation *indices* that always hang, every
+        attempt — a deterministic "poison config" for quarantine tests.
+    """
+
+    def __init__(self, rate: float, seed: int = 0, *, hang_s: float = 5.0,
+                 death_share: float = 0.5,
+                 poison: frozenset[int] | set[int] = frozenset()):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"hang rate must be in [0, 1], got {rate}")
+        if hang_s < 0:
+            raise ValueError("hang_s must be >= 0")
+        if not 0.0 <= death_share <= 1.0:
+            raise ValueError("death_share must be in [0, 1]")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.hang_s = float(hang_s)
+        self.death_share = float(death_share)
+        self.poison = frozenset(poison)
+
+    def draw(self, index: int, attempt: int = 0) -> HangEvent | None:
+        """The liveness fault (or None) for one evaluation attempt."""
+        if index < 0 or attempt < 0:
+            raise ValueError("index and attempt must be non-negative")
+        if index in self.poison:
+            return HangEvent("hang", hang_s=self.hang_s)
+        if self.rate == 0.0:
+            return None
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(index, attempt)))
+        if rng.random() >= self.rate:
+            return None
+        if rng.random() < self.death_share:
+            return HangEvent("worker_death")
+        return HangEvent("hang", hang_s=self.hang_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HangPlan(rate={self.rate}, seed={self.seed}, "
+                f"hang_s={self.hang_s})")

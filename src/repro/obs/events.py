@@ -51,6 +51,7 @@ EVENT_TYPES: dict[str, str] = {
     "memo.hit": "a memoized-sampling store served prior knowledge",
     "memo.miss": "a memoized-sampling store had nothing for the key",
     "memo.store": "a result was written into a memoization store",
+    "memo.block": "a poison configuration was quarantined out of a store",
     "selection.params": "parameter selection finished: the kept subset",
     "bestconfig.bound": "BestConfig RBS shrank the search bounds",
     "gunther.generation": "Gunther finished one GA generation",
@@ -61,6 +62,12 @@ EVENT_TYPES: dict[str, str] = {
     "async.fold": "an async evaluation was folded into the surrogate",
     "batch.serial_fallback": "concurrent evaluation degraded to serial "
                              "(objective lacks class-level spawn_view)",
+    "supervise.speculate": "a straggling evaluation got a speculative twin",
+    "supervise.reclaim": "a dead worker's task was reclaimed and redispatched",
+    "supervise.deadline_hit": "an evaluation exceeded its deadline and was "
+                              "abandoned (charged as censored-at-cap)",
+    "supervise.quarantine": "a config reached the strike cap and was "
+                            "quarantined from re-proposal",
 }
 
 

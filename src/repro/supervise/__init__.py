@@ -1,0 +1,33 @@
+"""Supervised execution: deadlines, heartbeats, speculation, quarantine.
+
+``repro.supervise`` wraps a :class:`repro.utils.parallel.WorkerPool` so
+that every in-flight evaluation is accountable (docs/ROBUSTNESS.md,
+"Supervised execution"):
+
+* **deadlines** — a wall-clock budget per evaluation, derived from a
+  running quantile of completed durations plus an optional hard
+  ``eval_timeout_s`` override; a task past its deadline is abandoned and
+  charged to search cost like a censored run;
+* **heartbeats** — each dispatch is tracked from its last sign of life,
+  and tasks owned by a dead worker are reclaimed and redispatched on a
+  fresh slot (``WorkerPool.replace_worker``);
+* **speculative re-execution** — a straggler past the straggler
+  threshold gets a duplicate on an idle slot; the first completion wins
+  and the loser is abandoned;
+* **poison-config quarantine** — a config that kills or times out its
+  worker ``quarantine_after`` times is excluded from re-proposal.
+
+Supervision reads the wall clock by design (an injected monotonic clock,
+exempted by analysis rule RPD005): deadlines and heartbeats are facts
+about real elapsed time.  It is therefore *not* bit-reproducible and is
+off by default — ``BOEngine(supervise=None)`` keeps every existing code
+path byte-identical to the unsupervised engine.
+"""
+
+from .deadline import DeadlinePolicy
+from .quarantine import PoisonQuarantine
+from .supervisor import (Completed, DeadlineHit, EvaluationSupervisor,
+                         SupervisePolicy, TaskFailed)
+
+__all__ = ["SupervisePolicy", "EvaluationSupervisor", "DeadlinePolicy",
+           "PoisonQuarantine", "Completed", "DeadlineHit", "TaskFailed"]

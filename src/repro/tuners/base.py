@@ -197,7 +197,7 @@ class Tuner(ABC):
 
     def resume(self, objective: Objective, budget: int, journal,
                rng: np.random.Generator | int | None = None,
-               tracer=None) -> TuningResult:
+               tracer=None, recover: str = "redispatch") -> TuningResult:
         """Resume a killed :meth:`checkpoint` session from its journal.
 
         Re-runs the tuning session with the same *rng* seed, serving the
@@ -207,6 +207,13 @@ class Tuner(ABC):
         snapshot and the search continues live, appending to the same
         journal.  For a fixed seed the final result is bit-identical to an
         uninterrupted run — see docs/ROBUSTNESS.md for the guarantees.
+
+        *recover* picks what happens to evaluations that were **in
+        flight** at the kill point (their ``dispatch`` records never
+        settled): ``"redispatch"`` re-executes them when the replayed
+        decision path re-proposes their vectors (bit-identical for the
+        fault-free case) and ``"censor"`` writes each one off as a
+        censored-at-cap outcome without re-paying its execution time.
         """
         from ..core.journal import EvaluationJournal, JournaledObjective
         if not isinstance(journal, EvaluationJournal):
@@ -221,5 +228,8 @@ class Tuner(ABC):
                 f"journal belongs to workload {meta['workload']!r}, "
                 f"not {wl!r}")
         return self.tune(JournaledObjective(objective, journal,
-                                            replay=records), budget, rng=rng,
-                         tracer=tracer)
+                                            replay=records,
+                                            pending=journal.pending_dispatches(),
+                                            next_seq=journal.next_seq(),
+                                            recover=recover),
+                         budget, rng=rng, tracer=tracer)

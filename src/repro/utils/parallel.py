@@ -22,15 +22,16 @@ order regardless of completion order.
 from __future__ import annotations
 
 import os
+import queue
+import threading
 from collections import deque
-from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
-                                ThreadPoolExecutor, wait)
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, TypeVar
 
 from ..obs import NULL_TRACER
 
 __all__ = ["ENV_JOBS", "available_cpus", "resolve_n_jobs", "parallel_map",
-           "WorkerPool"]
+           "PoolTimeout", "WorkerPool"]
 
 ENV_JOBS = "ROBOTUNE_JOBS"
 
@@ -124,6 +125,10 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
             return list(pool.map(fn, items, chunksize=chunksize))
 
 
+class PoolTimeout(TimeoutError):
+    """Raised by :meth:`WorkerPool.next_completed` when its wait expires."""
+
+
 class WorkerPool:
     """Submit/collect pool for asynchronous evaluation loops.
 
@@ -133,6 +138,13 @@ class WorkerPool:
     replacement without waiting on the round's stragglers — the core of the
     asynchronous BO engine (see docs/PERFORMANCE.md).
 
+    The thread backend runs every task on its own daemon thread feeding a
+    completion queue, rather than a shared executor: a hung task then
+    wedges only its own (abandonable) thread, never the pool.  That is
+    what makes :meth:`abandon`, :meth:`replace_worker` and the bounded
+    :meth:`close` possible — the supervision layer (``repro.supervise``,
+    docs/ROBUSTNESS.md) depends on all three.
+
     Parameters
     ----------
     n_workers:
@@ -140,14 +152,19 @@ class WorkerPool:
         from CPUs: async evaluation overlaps *latency* (simulated cluster
         runs, sleeps), which threads do regardless of core count.
     backend:
-        ``"thread"`` (default) runs tasks on a ``ThreadPoolExecutor``;
+        ``"thread"`` (default) runs each task on a daemon thread;
         ``"serial"`` defers execution to :meth:`next_completed` (FIFO), so
         tests can exercise the submit/collect protocol deterministically
         with no threads at all.
+    drain_timeout_s:
+        Total time :meth:`close` will spend joining still-running task
+        threads before abandoning them (they are daemons, so they can
+        never block interpreter exit).
     tracer:
         Optional :class:`repro.obs.Tracer`; task execution time accumulates
         in the ``pool.task`` timer (the clock read stays inside the tracer,
-        rule RPD005).
+        rule RPD005), and every task given up on bumps the
+        ``pool.abandoned_tasks`` counter.
 
     Completion-order determinism is the *caller's* problem, exactly as for
     :func:`parallel_map`: tags let the caller re-associate results with
@@ -155,27 +172,32 @@ class WorkerPool:
     """
 
     def __init__(self, n_workers: int, *, backend: str = "thread",
-                 tracer=None):
+                 drain_timeout_s: float = 5.0, tracer=None):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if backend not in ("thread", "serial"):
             raise ValueError(
                 f"backend must be 'thread' or 'serial', got {backend!r}")
+        if drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
         self.n_workers = int(n_workers)
         self.backend = backend
+        self.drain_timeout_s = float(drain_timeout_s)
         self._tracer = NULL_TRACER if tracer is None else tracer
-        self._executor = ThreadPoolExecutor(max_workers=self.n_workers) \
-            if backend == "thread" else None
-        self._futures: dict[Any, Any] = {}   # future -> tag
-        self._queue: deque = deque()         # serial backend: (tag, thunk)
-        self._seq: dict[Any, int] = {}       # future -> submit order
+        self._queue: deque = deque()          # serial backend: (tag, thunk)
+        self._completions: queue.Queue = queue.Queue()  # (seq, result, exc)
+        self._inflight: dict[int, Any] = {}   # seq -> tag
+        self._threads: dict[int, threading.Thread] = {}
+        self._ready: dict[int, tuple[Any, BaseException | None]] = {}
+        self._discard: set[int] = set()       # abandoned seqs: drop late results
         self._n_submitted = 0
+        self.abandoned_tasks = 0
 
     # -- protocol -----------------------------------------------------------------
     @property
     def pending(self) -> int:
         """Tasks submitted but not yet collected."""
-        return len(self._futures) + len(self._queue)
+        return len(self._inflight) + len(self._queue)
 
     @property
     def free_workers(self) -> int:
@@ -187,49 +209,145 @@ class WorkerPool:
             raise RuntimeError(
                 f"pool is full ({self.n_workers} tasks in flight); "
                 "collect with next_completed() before submitting more")
+        seq = self._n_submitted
+        self._n_submitted += 1
 
         def _run() -> Any:
             with self._tracer.timer("pool.task"):
                 return fn()
 
-        if self._executor is None:
+        if self.backend == "serial":
             self._queue.append((tag, _run))
-        else:
-            fut = self._executor.submit(_run)
-            self._futures[fut] = tag
-            self._seq[fut] = self._n_submitted
-        self._n_submitted += 1
+            return
 
-    def next_completed(self) -> tuple[Any, Any]:
+        def _worker() -> None:
+            try:
+                result: Any = _run()
+                exc: BaseException | None = None
+            except BaseException as e:  # noqa: BLE001 - relayed to collector
+                result, exc = None, e
+            self._completions.put((seq, result, exc))
+
+        self._inflight[seq] = tag
+        thread = threading.Thread(target=_worker, daemon=True,
+                                  name=f"WorkerPool-task-{seq}")
+        self._threads[seq] = thread
+        thread.start()
+
+    def _absorb(self, seq: int, result: Any,
+                exc: BaseException | None) -> None:
+        """File one completion-queue entry; late abandoned results drop."""
+        if seq in self._discard:
+            self._discard.discard(seq)
+            return
+        self._ready[seq] = (result, exc)
+
+    def next_completed(self, timeout: float | None = None) -> tuple[Any, Any]:
         """Block until any in-flight task finishes; returns ``(tag, result)``.
 
         Ties (several tasks already done) resolve in submission order, so
         replaying a trace where everything completed "instantly" is
         deterministic.  A task that raised re-raises here, after being
-        removed from the pool.
+        removed from the pool.  With *timeout* (seconds), a wait that
+        expires raises :class:`PoolTimeout` and leaves every task in
+        flight — the caller decides whether to keep waiting or
+        :meth:`abandon`.
         """
-        if self._executor is None:
+        if self.backend == "serial":
             if not self._queue:
                 raise RuntimeError("no tasks in flight")
             tag, run = self._queue.popleft()
             return tag, run()
-        if not self._futures:
+        if not self._inflight:
             raise RuntimeError("no tasks in flight")
-        done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
-        fut = min(done, key=self._seq.__getitem__)
-        tag = self._futures.pop(fut)
-        self._seq.pop(fut)
-        return tag, fut.result()
+        while True:
+            try:
+                while True:
+                    self._absorb(*self._completions.get_nowait())
+            except queue.Empty:
+                pass
+            live = [seq for seq in self._ready if seq in self._inflight]
+            if live:
+                seq = min(live)  # submission-order tie-break
+                tag = self._inflight.pop(seq)
+                self._threads.pop(seq, None)
+                result, exc = self._ready.pop(seq)
+                if exc is not None:
+                    raise exc
+                return tag, result
+            try:
+                entry = self._completions.get(timeout=timeout)
+            except queue.Empty:
+                raise PoolTimeout(
+                    f"no task completed within {timeout}s "
+                    f"({len(self._inflight)} in flight)") from None
+            self._absorb(*entry)
+
+    def abandon(self, tag: Any) -> bool:
+        """Give up on the in-flight task with *tag*; frees its slot.
+
+        The task's thread is left to finish (or hang) on its own — it is a
+        daemon, so it cannot block exit — and any result it eventually
+        produces is silently dropped.  Returns True if a matching task was
+        found.  Each abandonment bumps the audible ``pool.abandoned_tasks``
+        counter.
+        """
+        if self.backend == "serial":
+            for entry in list(self._queue):
+                if entry[0] == tag:
+                    self._queue.remove(entry)
+                    self.abandoned_tasks += 1
+                    self._tracer.count("pool.abandoned_tasks")
+                    return True
+            return False
+        for seq, t in list(self._inflight.items()):
+            if t == tag:
+                del self._inflight[seq]
+                self._threads.pop(seq, None)
+                if seq in self._ready:
+                    del self._ready[seq]  # completed, never collected
+                else:
+                    self._discard.add(seq)
+                self.abandoned_tasks += 1
+                self._tracer.count("pool.abandoned_tasks")
+                return True
+        return False
+
+    def replace_worker(self, tag: Any) -> bool:
+        """Reclaim the slot held by a dead/hung worker's task.
+
+        With per-task daemon threads, "restarting a worker" means
+        abandoning the wedged task (its thread is orphaned) and letting
+        the caller resubmit on the freed slot — a fresh thread serves the
+        redispatch.  Returns True if a matching task was reclaimed.
+        """
+        if self.abandon(tag):
+            self._tracer.count("pool.workers_replaced")
+            return True
+        return False
 
     def close(self) -> None:
-        """Shut the pool down, cancelling anything still queued."""
+        """Shut the pool down; never blocks longer than ``drain_timeout_s``.
+
+        Queued serial work is dropped; running threads get a bounded join
+        (the drain budget split across them) and anything still alive
+        after that is abandoned — counted in ``pool.abandoned_tasks`` —
+        rather than waited on forever.
+        """
         self._queue.clear()
-        if self._executor is not None:
-            for fut in self._futures:
-                fut.cancel()
-            self._executor.shutdown(wait=True)
-            self._futures.clear()
-            self._seq.clear()
+        threads = list(self._threads.items())
+        if threads:
+            share = self.drain_timeout_s / len(threads)
+            for _, thread in threads:
+                thread.join(timeout=share)
+        for seq, thread in threads:
+            if thread.is_alive() and seq in self._inflight:
+                self._discard.add(seq)
+                self.abandoned_tasks += 1
+                self._tracer.count("pool.abandoned_tasks")
+        self._inflight.clear()
+        self._threads.clear()
+        self._ready.clear()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -206,3 +206,74 @@ class TestWorkerMutatesEngineState:
         hits = rules_of(findings, "RPP004")
         assert len(hits) == 1 and hits[0].suppressed
         assert active(findings) == []
+
+
+class TestUnboundedBlockingCall:
+    def test_flags_bare_queue_get(self, lint):
+        findings = lint("""\
+            def drain(queue):
+                return queue.get()
+        """)
+        hits = rules_of(findings, "RPP005")
+        assert len(hits) == 1
+        assert ".get()" in hits[0].message
+
+    def test_flags_future_result_and_thread_join(self, lint):
+        findings = lint("""\
+            def wait_all(futures, worker):
+                values = [f.result() for f in futures]
+                worker.join()
+                return values
+        """)
+        assert len(rules_of(findings, "RPP005")) == 2
+
+    def test_allows_timeout_keyword(self, lint):
+        findings = lint("""\
+            def drain(queue, worker):
+                item = queue.get(timeout=5.0)
+                worker.join(timeout=1.0)
+                return item
+        """)
+        assert rules_of(findings, "RPP005") == []
+
+    def test_allows_positional_overloads(self, lint):
+        # dict.get(key), str.join(parts) and os.path.join(a, b) all take
+        # positionals — they are lookups, not blocking waits.
+        findings = lint("""\
+            import os
+
+            def lookup(table, parts, a, b):
+                return (table.get("key"), ",".join(parts),
+                        os.path.join(a, b))
+        """)
+        assert rules_of(findings, "RPP005") == []
+
+    def test_pool_layer_exempt(self, lint):
+        findings = lint("""\
+            def drain(queue):
+                return queue.get()
+        """, rel="src/repro/utils/parallel.py")
+        assert rules_of(findings, "RPP005") == []
+
+    def test_supervise_package_exempt(self, lint):
+        findings = lint("""\
+            def drain(queue):
+                return queue.get()
+        """, rel="src/repro/supervise/supervisor.py")
+        assert rules_of(findings, "RPP005") == []
+
+    def test_out_of_tree_modules_exempt(self, lint):
+        findings = lint("""\
+            def drain(queue):
+                return queue.get()
+        """, rel="benchmarks/test_smoke.py")
+        assert rules_of(findings, "RPP005") == []
+
+    def test_suppression(self, lint):
+        findings = lint("""\
+            def drain(queue):
+                return queue.get()  # repro: noqa RPP005 -- producer guaranteed alive by construction; bounded by test harness
+        """)
+        hits = rules_of(findings, "RPP005")
+        assert len(hits) == 1 and hits[0].suppressed
+        assert active(findings) == []

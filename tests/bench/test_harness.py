@@ -95,3 +95,20 @@ class TestAsyncWorkers:
     def test_async_and_batch_mutually_exclusive(self):
         with pytest.raises(ValueError):
             ComparisonStudy(async_workers=2, batch_size=4)
+
+
+class TestSupervision:
+    def test_supervise_requires_async_workers(self):
+        from repro.supervise import SupervisePolicy
+        with pytest.raises(ValueError, match="async_workers"):
+            ComparisonStudy(supervise=SupervisePolicy())
+
+    def test_supervised_study_runs(self):
+        from repro.supervise import SupervisePolicy
+        study = ComparisonStudy(
+            budget=16, trials=1, workloads=["terasort"], datasets=["D1"],
+            tuners=["ROBOTune"], base_seed=11, async_workers=2,
+            supervise=SupervisePolicy(eval_timeout_s=30.0),
+        ).run()
+        assert len(study.records) == 1
+        assert study.records[0].curve.shape == (16,)

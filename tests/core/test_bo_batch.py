@@ -125,15 +125,38 @@ class TestSpawnViewDispatch:
         parallel_map(lambda v: v(u), views, n_jobs=4, backend="thread")
         assert objective.n_evaluations == 8
 
-    def test_wrapped_objective_falls_back_to_serial(self, tmp_path):
-        # JournaledObjective forwards unknown attributes via __getattr__;
-        # borrowing the inner spawn_view would bypass journaling.  The
-        # class-level capability check must reject it — audibly.
+    def test_journaled_objective_spawns_concurrent_views(self, tmp_path):
+        # JournaledObjective implements spawn_view itself (views share
+        # the journal behind a lock), so batches through it run
+        # concurrently while every point is still journaled.
         space, objective, initial = make_problem(seed=19)
         journal = EvaluationJournal(tmp_path / "batch.jsonl")
         wrapped = JournaledObjective(objective, journal)
-        assert getattr(type(wrapped), "spawn_view", None) is None
-        assert wrapped.spawn_view is not None  # the leak the check avoids
+        assert wrapped.spawn_view_capable
+        engine = BOEngine(rng=20, n_candidates=64, batch_size=3, n_jobs=4)
+        evals = engine.minimize(wrapped, space, initial, budget=6)
+        assert len(evals) == 6
+        assert len(journal) == 6  # every point journaled
+        journal.close()
+
+    def test_wrapped_non_spawnable_falls_back_to_serial(self, tmp_path):
+        # A spawnable wrapper around a non-spawnable inner objective
+        # must still degrade to serial — audibly.
+        space, objective, initial = make_problem(seed=19)
+
+        class _Plain:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def __call__(self, u, time_limit_s=None):
+                return self._inner(u, time_limit_s)
+
+        journal = EvaluationJournal(tmp_path / "batch2.jsonl")
+        wrapped = JournaledObjective(_Plain(objective), journal)
+        assert not wrapped.spawn_view_capable
         engine = BOEngine(rng=20, n_candidates=64, batch_size=3, n_jobs=4)
         with pytest.warns(RuntimeWarning, match="degraded to serial"):
             evals = engine.minimize(wrapped, space, initial, budget=6)

@@ -133,6 +133,203 @@ class TestJournalFile:
         assert path.exists()
 
 
+class FakeSpace:
+    dim = 2
+
+    def decode(self, u):
+        return {"x": float(np.asarray(u)[0])}
+
+
+class RecoverableObjective(RecordingObjective):
+    """RecordingObjective with a decodable space (censor recovery path)."""
+
+    @property
+    def space(self):
+        return FakeSpace()
+
+
+class SpawnableObjective(RecordingObjective):
+    def spawn_view(self):
+        return self
+
+
+class TestDispatchSettle:
+    def test_live_calls_write_dispatch_then_settle(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = EvaluationJournal(path, fsync=False)
+        wrapped = JournaledObjective(RecordingObjective(), journal)
+        wrapped(np.array([0.2, 0.8]))
+        wrapped(np.array([0.4, 0.6]))
+        journal.close()
+        with open(path, encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh]
+        assert [p["kind"] for p in lines] == ["dispatch", "eval",
+                                              "dispatch", "eval"]
+        # Each eval settles the dispatch immediately preceding it.
+        assert lines[1]["seq"] == lines[0]["seq"] == 0
+        assert lines[3]["seq"] == lines[2]["seq"] == 1
+        assert journal.pending_dispatches() == []
+        assert journal.next_seq() == 2
+
+    def test_unsettled_dispatch_is_pending(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        wrapped = JournaledObjective(RecordingObjective(), journal)
+        wrapped(np.array([0.2, 0.8]))
+        # Simulate a crash mid-evaluation: dispatch written, no settle.
+        journal.append_dispatch(1, np.array([0.4, 0.6]))
+        journal.close()
+        pending = journal.pending_dispatches()
+        assert len(pending) == 1
+        assert pending[0].seq == 1
+        assert pending[0].vector == [0.4, 0.6]
+        assert journal.next_seq() == 2
+        assert len(journal) == 1      # only the settled record counts
+
+    def test_record_censored_settles_immediately(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = EvaluationJournal(path, fsync=False)
+        wrapped = JournaledObjective(RecordingObjective(), journal)
+        censored = make_eval(status=RunStatus.TIMEOUT, truncated=True,
+                             transient=True, fault="deadline")
+        wrapped.record_censored(censored)
+        journal.close()
+        assert journal.pending_dispatches() == []
+        _, records = journal.load()
+        assert len(records) == 1
+        assert records[0].fault == "deadline"
+        assert records[0].seq == 0
+        assert journal.next_seq() == 1
+
+    def test_v1_journal_loads_unchanged(self, tmp_path):
+        # A pre-supervision journal: eval records with no seq, no dispatches.
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        journal.write_meta({"tuner": "ROBOTune"})
+        journal.append(make_eval(x=0.1))
+        journal.append(make_eval(x=0.9))
+        journal.close()
+        meta, records = journal.load()
+        assert meta == {"tuner": "ROBOTune"}
+        assert len(records) == 2
+        assert all(rec.seq is None for rec in records)
+        assert journal.pending_dispatches() == []
+        assert journal.next_seq() == 0
+
+
+class TestCrashRecovery:
+    def _crashed_session(self, tmp_path, objective_cls=RecordingObjective):
+        """One settled evaluation plus one dispatch that never settled."""
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        inner = objective_cls()
+        wrapped = JournaledObjective(inner, journal)
+        wrapped(np.array([0.2, 0.8]))
+        journal.append_dispatch(1, np.array([0.4, 0.6]))
+        journal.close()
+        return journal
+
+    def test_invalid_recover_mode_rejected(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        with pytest.raises(ValueError, match="recover"):
+            JournaledObjective(RecordingObjective(), journal,
+                               recover="retry")
+
+    def test_redispatch_reexecutes_and_reuses_seq(self, tmp_path):
+        journal = self._crashed_session(tmp_path)
+        _, records = journal.load()
+        fresh = RecordingObjective()
+        resumed = JournaledObjective(fresh, journal, replay=records,
+                                     pending=journal.pending_dispatches(),
+                                     next_seq=journal.next_seq())
+        assert resumed.n_pending == 1
+        resumed(np.array([0.2, 0.8]))          # served from the journal
+        ev = resumed(np.array([0.4, 0.6]))     # re-executes the crashed one
+        assert fresh.calls == 1
+        assert ev.fault is None
+        assert resumed.n_pending == 0
+        journal.close()
+        # The re-execution settled the *original* dispatch record.
+        assert journal.pending_dispatches() == []
+        _, records = journal.load()
+        assert records[-1].seq == 1
+        # New work continues from the next unused sequence number.
+        resumed(np.array([0.6, 0.4]))
+        journal.close()
+        _, records = journal.load()
+        assert records[-1].seq == 2
+
+    def test_censor_writes_off_pending_without_execution(self, tmp_path):
+        journal = self._crashed_session(tmp_path, RecoverableObjective)
+        _, records = journal.load()
+        fresh = RecoverableObjective()
+        resumed = JournaledObjective(fresh, journal, replay=records,
+                                     pending=journal.pending_dispatches(),
+                                     next_seq=journal.next_seq(),
+                                     recover="censor")
+        resumed(np.array([0.2, 0.8]))
+        skipped_before = fresh.skipped
+        ev = resumed(np.array([0.4, 0.6]))
+        assert fresh.calls == 0                # cluster time not re-paid
+        assert ev.fault == "crash_recovery"
+        assert ev.status is RunStatus.TIMEOUT
+        assert ev.truncated and ev.transient
+        assert ev.objective == fresh.time_limit_s
+        assert ev.cost_s == fresh.time_limit_s
+        assert ev.config == {"x": 0.4}
+        # Fault-plan coordinates stay aligned past the censored slot.
+        assert fresh.skipped == skipped_before + 1
+        assert resumed.n_pending == 0
+        journal.close()
+        assert journal.pending_dispatches() == []
+
+    def test_censor_prefers_censor_value_hook(self, tmp_path):
+        class Hooked(RecoverableObjective):
+            def censor_value(self, config, limit_s):
+                return 999.0
+
+        journal = self._crashed_session(tmp_path, Hooked)
+        _, records = journal.load()
+        resumed = JournaledObjective(Hooked(), journal, replay=records,
+                                     pending=journal.pending_dispatches(),
+                                     next_seq=journal.next_seq(),
+                                     recover="censor")
+        resumed(np.array([0.2, 0.8]))
+        ev = resumed(np.array([0.4, 0.6]))
+        assert ev.objective == 999.0
+
+    def test_censor_mode_runs_unrelated_vectors_live(self, tmp_path):
+        journal = self._crashed_session(tmp_path, RecoverableObjective)
+        _, records = journal.load()
+        fresh = RecoverableObjective()
+        resumed = JournaledObjective(fresh, journal, replay=records,
+                                     pending=journal.pending_dispatches(),
+                                     next_seq=journal.next_seq(),
+                                     recover="censor")
+        resumed(np.array([0.2, 0.8]))
+        ev = resumed(np.array([0.9, 0.1]))     # never dispatched pre-crash
+        assert fresh.calls == 1
+        assert ev.fault is None
+        assert resumed.n_pending == 1          # the crashed one still owed
+
+
+class TestJournaledViews:
+    def test_spawn_view_shares_journal_and_sequence(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        wrapped = JournaledObjective(SpawnableObjective(), journal)
+        assert wrapped.spawn_view_capable
+        views = [wrapped.spawn_view() for _ in range(3)]
+        for i, view in enumerate(views):
+            view(np.array([0.1 * (i + 1), 0.5]))
+        journal.close()
+        _, records = journal.load()
+        assert sorted(rec.seq for rec in records) == [0, 1, 2]
+        assert journal.pending_dispatches() == []
+        assert journal.next_seq() == 3
+
+    def test_spawn_view_capable_tracks_inner(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)
+        wrapped = JournaledObjective(RecordingObjective(), journal)
+        assert not wrapped.spawn_view_capable  # inner has no spawn_view
+
+
 class TestJournaledObjective:
     def test_recording_appends_with_rng_snapshot(self, tmp_path):
         journal = EvaluationJournal(tmp_path / "run.jsonl", fsync=False)

@@ -97,6 +97,59 @@ class TestConfigMemoizationBuffer:
         assert best[0].config == {"spark.executor.cores": 8}
         assert best[0].dataset == "D1"
 
+    def test_block_removes_and_refuses(self):
+        buf = ConfigMemoizationBuffer()
+        buf.add("wl", {"p": 1}, 10.0)
+        buf.add("wl", {"p": 2}, 20.0)
+        buf.block("wl", {"p": 1})
+        assert buf.is_blocked("wl", {"p": 1})
+        assert [m.config for m in buf.best("wl")] == [{"p": 2}]
+        buf.add("wl", {"p": 1}, 5.0)          # silently refused
+        assert [m.config for m in buf.best("wl")] == [{"p": 2}]
+
+    def test_block_is_per_workload(self):
+        buf = ConfigMemoizationBuffer()
+        buf.block("wl-a", {"p": 1})
+        assert not buf.is_blocked("wl-b", {"p": 1})
+        buf.add("wl-b", {"p": 1}, 10.0)
+        assert len(buf.best("wl-b")) == 1
+
+    def test_block_before_any_add(self):
+        buf = ConfigMemoizationBuffer()
+        buf.block("wl", {"p": 1})             # no table bucket yet
+        buf.block("wl", {"p": 1})             # idempotent
+        buf.add("wl", {"p": 1}, 10.0)
+        assert buf.best("wl") == []
+
+    def test_block_emits_event(self):
+        from repro.obs import InMemorySink, Tracer
+        buf = ConfigMemoizationBuffer()
+        sink = InMemorySink()
+        buf.tracer = Tracer([sink])
+        buf.block("wl", {"p": 1})
+        events = [e for e in sink.events() if e["type"] == "memo.block"]
+        assert len(events) == 1
+        assert events[0]["data"]["workload"] == "wl"
+        assert events[0]["data"]["blocked"] == 1
+
+    def test_blocklist_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "memo.json"
+        buf = ConfigMemoizationBuffer(path)
+        buf.add("wl", {"p": 2}, 20.0)
+        buf.block("wl", {"p": 1})
+        raw = json.loads(path.read_text())
+        assert raw["__blocked__"] == {"wl": [{"p": 1}]}
+        reloaded = ConfigMemoizationBuffer(path)
+        assert reloaded.is_blocked("wl", {"p": 1})
+        reloaded.add("wl", {"p": 1}, 5.0)     # still refused after reload
+        assert [m.config for m in reloaded.best("wl")] == [{"p": 2}]
+
+    def test_blocklist_key_absent_when_empty(self, tmp_path):
+        path = tmp_path / "memo.json"
+        buf = ConfigMemoizationBuffer(path)
+        buf.add("wl", {"p": 1}, 10.0)
+        assert "__blocked__" not in json.loads(path.read_text())
+
     def test_empty_buffer_is_falsy_but_shareable(self):
         """Regression test: ROBOTune must keep a passed-in empty store."""
         from repro.core import ROBOTune

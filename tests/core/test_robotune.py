@@ -136,6 +136,59 @@ class TestValidation:
             tuner.tune(Bare(), budget=15, rng=1)
 
 
+class TestSupervision:
+    def test_supervise_requires_async_workers(self):
+        from repro.supervise import SupervisePolicy
+        with pytest.raises(ValueError, match="async_workers"):
+            make_tuner(supervise=SupervisePolicy())
+
+    def test_supervised_session_completes(self):
+        from repro.supervise import SupervisePolicy
+        tuner = make_tuner(seed=21, async_workers=2, init_samples=6,
+                           supervise=SupervisePolicy(eval_timeout_s=30.0))
+        result = tuner.tune(make_objective(seed=22), budget=14, rng=23)
+        assert result.n_evaluations == 14
+        assert result.quarantined_configs == []
+
+    def test_quarantined_configs_reported_and_blocked(self):
+        from repro.faults import HangInjector, HangPlan
+        from repro.supervise import SupervisePolicy
+        memo = ConfigMemoizationBuffer()
+        full_dim = 10
+        state = {"seen": 0, "target": None}
+
+        def poison(u):
+            # Poison the first *BO-phase* proposal: selection runs in the
+            # full space, the 6 initial-design points come first in the
+            # reduced one, and everything after that is a BO proposal.
+            if len(u) == full_dim:
+                return False
+            state["seen"] += 1
+            if state["seen"] <= 6:
+                return False
+            if state["target"] is None:
+                state["target"] = np.asarray(u, dtype=float).copy()
+            return bool(np.array_equal(u, state["target"]))
+
+        objective = HangInjector(make_objective(seed=24, dim=full_dim),
+                                 HangPlan(0.0), poison=poison,
+                                 poison_kind="worker_death")
+        tuner = make_tuner(memo=memo, seed=25, init_samples=6,
+                           async_workers=1,
+                           supervise=SupervisePolicy(eval_timeout_s=30.0,
+                                                     quarantine_after=1,
+                                                     max_redispatch=0))
+        result = tuner.tune(objective, budget=12, rng=26)
+        assert result.n_evaluations == 12
+        assert len(result.quarantined_configs) == 1
+        # The poison config must never warm-start a future session.
+        key = objective.workload.key
+        assert memo.is_blocked(key, result.quarantined_configs[0])
+        memo.add(key, result.quarantined_configs[0], 1.0)  # refused
+        assert all(m.config != result.quarantined_configs[0]
+                   for m in memo.best(key, 100))
+
+
 class TestAsyncWorkers:
     def test_async_forwarded_to_engine(self):
         tuner = make_tuner(seed=20, async_workers=3)

@@ -1,0 +1,210 @@
+"""Liveness faults: HangPlan determinism, HangInjector, WorkerDeath,
+and concurrent views of both injectors (the k>1 async fault path)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import (FaultInjector, FaultPlan, HangEvent, HangInjector,
+                          HangPlan, RetryPolicy, WorkerDeath)
+from repro.tuners import SyntheticObjective, synthetic_space
+
+
+def make_objective(seed=0, dim=4):
+    space = synthetic_space(dim)
+    return space, SyntheticObjective(space, n_effective=3, noise=0.01,
+                                     rng=seed)
+
+
+class TestHangPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HangPlan(-0.1)
+        with pytest.raises(ValueError):
+            HangPlan(1.5)
+        with pytest.raises(ValueError):
+            HangPlan(0.1, hang_s=-1.0)
+        with pytest.raises(ValueError):
+            HangPlan(0.1, death_share=2.0)
+        with pytest.raises(ValueError):
+            HangPlan(0.1).draw(-1)
+
+    def test_pure_function_of_coordinates(self):
+        plan = HangPlan(0.5, seed=7, hang_s=1.0)
+        for index in range(20):
+            for attempt in range(3):
+                assert plan.draw(index, attempt) == plan.draw(index, attempt)
+
+    def test_attempts_reroll_independently(self):
+        plan = HangPlan(0.5, seed=3)
+        draws = {(i, a): plan.draw(i, a)
+                 for i in range(40) for a in range(2)}
+        # Some evaluation must differ between attempt 0 and attempt 1.
+        assert any(draws[(i, 0)] != draws[(i, 1)] for i in range(40))
+
+    def test_rate_zero_never_fires(self):
+        plan = HangPlan(0.0, seed=1)
+        assert all(plan.draw(i) is None for i in range(50))
+
+    def test_rate_one_always_fires(self):
+        plan = HangPlan(1.0, seed=1)
+        assert all(plan.draw(i) is not None for i in range(50))
+
+    def test_death_share_split(self):
+        deaths = sum(plan_draw.kind == "worker_death"
+                     for plan_draw in (HangPlan(1.0, seed=2,
+                                                death_share=0.5).draw(i)
+                                       for i in range(200)))
+        assert 60 < deaths < 140  # ~100 expected
+
+    def test_death_share_extremes(self):
+        assert all(HangPlan(1.0, seed=0, death_share=1.0).draw(i).kind
+                   == "worker_death" for i in range(20))
+        assert all(HangPlan(1.0, seed=0, death_share=0.0).draw(i).kind
+                   == "hang" for i in range(20))
+
+    def test_poison_indices_always_hang(self):
+        plan = HangPlan(0.0, seed=0, hang_s=2.5, poison={3})
+        assert plan.draw(3) == HangEvent("hang", hang_s=2.5)
+        assert plan.draw(3, attempt=5) is not None
+        assert plan.draw(2) is None
+
+
+class TestHangInjector:
+    def test_rejects_bad_poison_kind(self):
+        _, objective = make_objective()
+        with pytest.raises(ValueError, match="poison_kind"):
+            HangInjector(objective, HangPlan(0.0), poison_kind="nope")
+
+    def test_passthrough_at_rate_zero(self):
+        space, objective = make_objective()
+        inj = HangInjector(objective, HangPlan(0.0))
+        u = np.full(space.dim, 0.5)
+        ev = inj(u)
+        assert ev.objective == pytest.approx(ev.objective)
+        assert inj.stats == {"index": 1, "hangs": 0, "deaths": 0}
+
+    def test_worker_death_raises_before_execution(self):
+        space, objective = make_objective()
+        inj = HangInjector(objective, HangPlan(1.0, seed=0,
+                                               death_share=1.0))
+        with pytest.raises(WorkerDeath, match="evaluation 0"):
+            inj(np.full(space.dim, 0.5))
+        assert inj.stats["deaths"] == 1
+        # The wrapped objective never ran.
+        assert objective.n_evaluations == 0
+
+    def test_hang_wedges_then_executes(self):
+        space, objective = make_objective()
+        inj = HangInjector(objective, HangPlan(1.0, seed=0, hang_s=0.2,
+                                               death_share=0.0))
+        start = time.monotonic()
+        ev = inj(np.full(space.dim, 0.5))
+        assert time.monotonic() - start >= 0.2
+        assert inj.stats["hangs"] == 1
+        assert ev.objective > 0
+
+    def test_poison_predicate_overrides_plan(self):
+        space, objective = make_objective()
+        target = np.full(space.dim, 0.25)
+        inj = HangInjector(objective, HangPlan(0.0),
+                           poison=lambda u: bool(np.allclose(u, target)),
+                           poison_kind="worker_death")
+        inj(np.full(space.dim, 0.75))  # not poison: runs clean
+        with pytest.raises(WorkerDeath):
+            inj(target)
+        with pytest.raises(WorkerDeath):
+            inj(target)                # every attempt, deterministically
+
+    def test_skip_advances_index(self):
+        space, objective = make_objective()
+        inj = HangInjector(objective, HangPlan(1.0, seed=0,
+                                               death_share=1.0))
+        inj.skip(3)
+        assert inj.stats["index"] == 3
+        with pytest.raises(ValueError):
+            inj.skip(-1)
+
+    def test_objective_protocol_delegation(self):
+        space, objective = make_objective()
+        inj = HangInjector(objective, HangPlan(0.0))
+        assert inj.space is objective.space
+        assert inj.time_limit_s == objective.time_limit_s
+        assert inj.n_evaluations == 0  # __getattr__ delegation
+
+    def test_spawn_view_shares_counters(self):
+        space, objective = make_objective()
+        inj = HangInjector(objective, HangPlan(0.0))
+        assert inj.spawn_view_capable
+        views = [inj.spawn_view() for _ in range(4)]
+        u = np.full(space.dim, 0.5)
+        threads = [threading.Thread(target=v, args=(u,)) for v in views]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert inj.stats["index"] == 4
+        assert objective.n_evaluations == 4
+
+    def test_spawn_view_capable_tracks_inner(self):
+        space, objective = make_objective()
+
+        class _Plain:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def __call__(self, u, time_limit_s=None):
+                return self._inner(u, time_limit_s)
+
+        inj = HangInjector(_Plain(objective), HangPlan(0.0))
+        assert not inj.spawn_view_capable
+
+
+class TestFaultInjectorViews:
+    """FaultInjector.spawn_view: the k>1 async fault path (satellite)."""
+
+    def test_views_share_the_plan_index(self):
+        space, objective = make_objective()
+        inj = FaultInjector(objective, FaultPlan(0.0, seed=1))
+        assert inj.spawn_view_capable
+        views = [inj.spawn_view() for _ in range(6)]
+        u = np.full(space.dim, 0.5)
+        threads = [threading.Thread(target=v, args=(u,)) for v in views]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert inj.stats["index"] == 6
+        assert objective.n_evaluations == 6
+
+    def test_concurrent_retries_charge_backoff(self):
+        # Each view executes its own retry loop on the worker; the backoff
+        # is charged into that evaluation's cost, not wall-clocked.
+        space, objective = make_objective()
+        inj = FaultInjector(objective, FaultPlan(0.6, seed=5),
+                            retry=RetryPolicy(max_retries=2, backoff_s=3.0))
+        views = [inj.spawn_view() for _ in range(16)]
+        results = [None] * len(views)
+
+        def run(i):
+            results[i] = views[i](np.full(space.dim, 0.4))
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(len(views))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = inj.stats
+        assert stats["index"] == 16
+        assert stats["injected"] > 0
+        retried = [e for e in results if e.attempts > 1]
+        assert retried, "a 0.6 fault rate must trigger at least one retry"
+        assert stats["backoff_s"] > 0
+        # Backoff shows up in the retried evaluations' charged cost.
+        assert sum(e.cost_s for e in retried) >= stats["backoff_s"]

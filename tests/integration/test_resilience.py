@@ -163,6 +163,88 @@ class TestKillAndResume:
             tuner.resume(other, 5, journal_path, rng=rng)
 
 
+class TestInFlightRecovery:
+    """Dispatch records with no settling eval: work in flight at the kill.
+
+    ``KillAfter`` raises *inside* the objective call, after the journal
+    durably recorded the dispatch — exactly what a process death mid-
+    evaluation leaves on disk.
+    """
+
+    def _kill_session(self, space, tmp_path, *, budget=40, kill_after=10):
+        journal_path = tmp_path / "session.jsonl"
+        tuner, rng = make_tuner("RandomSearch")
+        with pytest.raises(Killed):
+            tuner.checkpoint(KillAfter(make_objective(space), kill_after),
+                             budget, journal_path, rng=rng)
+        return journal_path
+
+    def test_kill_leaves_exactly_one_pending_dispatch(self, space, tmp_path):
+        journal_path = self._kill_session(space, tmp_path)
+        journal = EvaluationJournal(journal_path)
+        pending = journal.pending_dispatches()
+        assert len(pending) == 1          # the evaluation that was executing
+        assert journal.next_seq() == 11
+        assert len(journal) == 10         # only settled records count
+
+    def test_redispatch_resume_settles_the_pending_dispatch(self, space,
+                                                            tmp_path):
+        # Bit-identity of the default (redispatch) mode is pinned by
+        # TestKillAndResume; here we pin the journal-level accounting.
+        straight, resumed = kill_resume_roundtrip(
+            "RandomSearch", space, tmp_path, budget=40, kill_after=10)
+        journal = EvaluationJournal(tmp_path / "session.jsonl")
+        assert journal.pending_dispatches() == []
+        assert len(journal) == 40
+        assert all(e.fault is None for e in resumed.evaluations)
+
+    def test_censor_resume_writes_off_the_inflight_evaluation(self, space,
+                                                              tmp_path):
+        journal_path = self._kill_session(space, tmp_path)
+        crashed = np.asarray(
+            EvaluationJournal(journal_path).pending_dispatches()[0].vector)
+        tuner, rng = make_tuner("RandomSearch")
+        resumed = tuner.resume(make_objective(space), 40, journal_path,
+                               rng=rng, recover="censor")
+        assert resumed.n_evaluations == 40
+        censored = [e for e in resumed.evaluations
+                    if e.fault == "crash_recovery"]
+        assert len(censored) == 1
+        assert np.array_equal(censored[0].vector, crashed)
+        assert censored[0].truncated and censored[0].transient
+        journal = EvaluationJournal(journal_path)
+        assert journal.pending_dispatches() == []
+        assert len(journal) == 40
+
+
+class TestSupervisedTuningUnderChaos:
+    """Hang/worker-death chaos on the real workload objective."""
+
+    def test_robotune_supervised_survives_hangs(self, space):
+        from repro.core import ParameterSelectionCache
+        from repro.faults import HangInjector, HangPlan
+        from repro.supervise import SupervisePolicy
+        objective = make_objective(space)
+        # Pre-warm the selection cache so the unsupervised selection phase
+        # is skipped and the chaos lands on the supervised BO loop.
+        cache = ParameterSelectionCache()
+        cache.put(objective.workload.key, list(space.names)[:6])
+        # SEED + 6 draws no fault on indices 0-3 (the unsupervised initial
+        # design) and a hang/death mix on the supervised BO phase.
+        chaotic = HangInjector(objective,
+                               HangPlan(0.3, seed=SEED + 6, hang_s=5.0,
+                                        death_share=0.5))
+        tuner = ROBOTune(selection_cache=cache, init_samples=4,
+                         async_workers=2, rng=np.random.default_rng(SEED),
+                         supervise=SupervisePolicy(eval_timeout_s=0.3,
+                                                   quarantine_after=2))
+        result = tuner.tune(chaotic, 12, rng=np.random.default_rng(SEED))
+        assert result.n_evaluations == 12
+        faults = [e.fault for e in result.evaluations if e.fault]
+        assert faults                      # the chaos actually landed
+        assert set(faults) <= {"deadline", "worker_death"}
+
+
 class TestTuningUnderFaults:
     """Tier-1 coverage of the full fault path on the real objective."""
 

@@ -171,6 +171,61 @@ class TestResilienceFlags:
         assert code == 0
 
 
+class TestSupervisionFlags:
+    def test_nonpositive_eval_timeout_rejected(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--async-workers", "2", "--eval-timeout", "0"])
+        assert code == 2
+        assert "--eval-timeout" in capsys.readouterr().err
+
+    def test_eval_timeout_requires_async_workers(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--eval-timeout", "30"])
+        assert code == 2
+        assert "--eval-timeout requires --async-workers" in \
+            capsys.readouterr().err
+
+    def test_speculate_requires_eval_timeout(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--async-workers", "2", "--speculate"])
+        assert code == 2
+        assert "--speculate requires --eval-timeout" in \
+            capsys.readouterr().err
+
+    def test_bad_quarantine_threshold_rejected(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "5",
+                     "--async-workers", "2", "--eval-timeout", "30",
+                     "--quarantine-after", "0"])
+        assert code == 2
+        assert "--quarantine-after" in capsys.readouterr().err
+
+    def test_supervised_tune_runs(self, capsys):
+        code = main(["tune", "--workload", "terasort", "--budget", "12",
+                     "--seed", "6", "--async-workers", "2",
+                     "--eval-timeout", "30", "--speculate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "supervised:      deadline 30s" in out
+        assert "speculative twins" in out
+        assert "0 config(s) quarantined" in out
+
+    def test_recover_flag_accepted_on_resume(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        assert main(["tune", "--workload", "terasort", "--budget", "8",
+                     "--seed", "7", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main(["tune", "--workload", "terasort", "--budget", "8",
+                     "--seed", "7", "--journal", str(journal),
+                     "--resume", "--recover", "censor"])
+        assert code == 0
+        assert "journal:" in capsys.readouterr().out
+
+    def test_bad_recover_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--workload", "terasort", "--budget", "5",
+                  "--recover", "retry"])
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
