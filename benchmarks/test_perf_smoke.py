@@ -342,6 +342,66 @@ def test_sparksim_run_batch_vs_scalar_loop(capsys):
     assert b <= s * 1.2  # batch path must never be slower (slack for noise)
 
 
+def test_gp_lowrank_scaling_vs_exact(capsys):
+    """Exact vs low-rank (Nyström/SoR) GP across training-set sizes.
+
+    The exact GP's O(n^3) fit and O(n^2) predict dominate large-n
+    sessions (warm starts routinely fold hundreds of prior rows into the
+    surrogate); the low-rank path caps the cost at O(n·m^2) / O(m^2).
+    Gate: at n=1000 the low-rank fit+predict cycle must be >= 5x faster
+    than the exact GP while staying within a relative-RMSE tolerance of
+    the exact posterior mean (measured ~12x / ~0.07).
+    """
+    from repro.gp import LowRankGaussianProcessRegressor
+
+    rng = np.random.default_rng(30)
+    dim = 8
+    n_max = 2000
+    X_all = rng.random((n_max, dim))
+    y_all = (np.sin(3 * X_all[:, 0]) + X_all[:, 1] ** 2
+             + 0.3 * X_all[:, 2] * X_all[:, 3]
+             + 0.05 * rng.standard_normal(n_max))
+    Q = rng.random((256, dim))
+
+    walls: dict[int, tuple[float, float]] = {}
+    rel_rmse: dict[int, float] = {}
+    with capsys.disabled():
+        print()
+        for n in (100, 300, 1000, 2000):
+            X, y = X_all[:n], y_all[:n]
+            repeats = 2 if n <= 300 else 1
+
+            def exact_cycle():
+                gp = GaussianProcessRegressor(
+                    kernel=default_bo_kernel(), optimize=False).fit(X, y)
+                return gp.predict(Q)
+
+            def lowrank_cycle():
+                gp = LowRankGaussianProcessRegressor(
+                    kernel=default_bo_kernel(), n_inducing=96,
+                    optimize=False).fit(X, y)
+                return gp.predict(Q)
+
+            ex = _time(exact_cycle, repeats=repeats)
+            lo = _time(lowrank_cycle, repeats=repeats)
+            walls[n] = (ex, lo)
+            mu_e, mu_l = exact_cycle(), lowrank_cycle()
+            spread = float(np.ptp(mu_e)) or 1.0
+            rel_rmse[n] = float(np.sqrt(np.mean((mu_l - mu_e) ** 2))
+                                / spread)
+            _record(f"gp_exact_fit_predict_n{n}", ex, n=n)
+            _record(f"gp_lowrank_m96_fit_predict_n{n}", lo, n=n)
+            print(f"GP fit+predict n={n}: exact {ex:.3f}s vs "
+                  f"low-rank(m=96) {lo:.3f}s ({ex / lo:.1f}x, "
+                  f"rel RMSE {rel_rmse[n]:.3f})")
+
+    ex_1k, lo_1k = walls[1000]
+    assert lo_1k <= ex_1k / 5.0       # the scale-up gate (measured ~12x)
+    assert rel_rmse[1000] <= 0.15     # posterior stays faithful (meas ~0.07)
+    ex_2k, lo_2k = walls[2000]
+    assert lo_2k <= ex_2k / 5.0       # the gap must widen, never close
+
+
 def test_zzy_write_bo_engine_file(capsys):
     existing = []
     if BO_BENCH_FILE.exists():

@@ -1,13 +1,14 @@
 """Rule pack: importing this package registers every rule.
 
 Families: ``RPD`` determinism, ``RPP`` parallel safety, ``RPF``
-fault/journal discipline, ``RPN`` numerical hygiene, ``RPA`` linter
-hygiene (suppression discipline, owned by the engine and
-:mod:`repro.analysis.rules.meta`).
+fault/journal discipline, ``RPN`` numerical hygiene, ``RPE`` public API
+surface hygiene, ``RPA`` linter hygiene (suppression discipline, owned
+by the engine and :mod:`repro.analysis.rules.meta`).
 """
 
 from __future__ import annotations
 
-from . import determinism, faults, meta, numerics, parallel
+from . import determinism, exports, faults, meta, numerics, parallel
 
-__all__ = ["determinism", "faults", "meta", "numerics", "parallel"]
+__all__ = ["determinism", "exports", "faults", "meta", "numerics",
+           "parallel"]

@@ -1,0 +1,109 @@
+"""RPE rules: public API surface hygiene.
+
+``repro.core.__init__`` is the package's front door; every name in its
+``__all__`` is a promise that someone consumes it.  An export nothing in
+the package (or the benchmark suite) references is either dead weight or
+an API kept alive for external users only — the first should be removed,
+the second must say so explicitly with a justified suppression, so the
+public surface never grows by accretion.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Directories (relative to the repo root) whose modules count as call
+#: sites.  Tests deliberately do not: a test-only export has no consumer.
+_CALLER_DIRS = ("src/repro", "benchmarks")
+
+
+def _all_entries(tree: ast.Module) -> list[tuple[str, int]]:
+    """``(name, line)`` for every string element of a module's ``__all__``."""
+    out: list[tuple[str, int]] = []
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "__all__"):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    out.append((elt.value, elt.lineno))
+    return out
+
+
+def _origin_modules(tree: ast.Module) -> dict[str, str]:
+    """Map each imported name to the relative module it comes from."""
+    origins: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.level >= 1 and node.module:
+            for alias in node.names:
+                origins[alias.asname or alias.name] = node.module
+    return origins
+
+
+@register
+class DeadCoreExport(Rule):
+    """RPE001: every ``repro.core`` export has a non-test call site."""
+
+    id = "RPE001"
+    title = "public export without a call site"
+    rationale = (
+        "A name exported from repro.core that nothing in src/repro or "
+        "benchmarks/ references is untested API surface growing by "
+        "accretion: remove it, or suppress with a justification naming "
+        "the external consumer it exists for.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_module("core/__init__.py"):
+            return
+        entries = _all_entries(ctx.tree)
+        if not entries:
+            return
+        origins = _origin_modules(ctx.tree)
+        callers = self._caller_sources(ctx.path)
+        for name, line in entries:
+            origin = origins.get(name)
+            # The defining module and re-exporting __init__ files do not
+            # count as consumers — only genuine call sites do.
+            skip = {f"core/{origin.lstrip('.')}.py"} if origin else set()
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            if not any(pattern.search(text)
+                       for sub, text in callers if sub not in skip):
+                yield self.finding(
+                    ctx, line,
+                    f"export {name!r} has no call site in "
+                    f"{' or '.join(_CALLER_DIRS)}; remove it or suppress "
+                    "with the external consumer it serves")
+
+    @staticmethod
+    def _caller_sources(init_path: Path) -> list[tuple[str, str]]:
+        """``(repro-relative-or-bench path, source)`` for candidate callers."""
+        pkg_root = init_path.resolve().parent.parent       # src/repro
+        repo_root = pkg_root.parent.parent                 # repo
+        out: list[tuple[str, str]] = []
+        for py in sorted(pkg_root.rglob("*.py")):
+            if py.name == "__init__.py":
+                continue
+            try:
+                out.append((py.relative_to(pkg_root).as_posix(),
+                            py.read_text(encoding="utf-8")))
+            except (OSError, UnicodeDecodeError):
+                continue
+        bench = repo_root / "benchmarks"
+        if bench.is_dir():
+            for py in sorted(bench.rglob("*.py")):
+                try:
+                    out.append((f"benchmarks/{py.relative_to(bench).as_posix()}",
+                                py.read_text(encoding="utf-8")))
+                except (OSError, UnicodeDecodeError):
+                    continue
+        return out

@@ -20,7 +20,9 @@ import numpy as np
 
 from ..core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from ..core.selection import ParameterSelector
+from ..core.transfer import WorkloadMapper
 from ..core.tuner import ROBOTune
+from ..core.warmstart import journal_paths
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..obs import JsonlTraceWriter, Tracer, load_trace, summarize
 from ..space.spark_params import spark_space
@@ -145,6 +147,19 @@ class ComparisonStudy:
         sessions (requires ``async_workers >= 1``): deadlines,
         reclaim-and-redispatch, speculation and poison-config quarantine
         around every asynchronous evaluation.  See docs/ROBUSTNESS.md.
+    map_workloads:
+        Share one :class:`~repro.core.transfer.WorkloadMapper` across all
+        workloads of a ``(trial, tuner)`` sweep (ROBOTune sessions only).
+        The sweep unit widens from ``(trial, workload, tuner)`` to
+        ``(trial, tuner)`` — knowledge stores and the mapper persist
+        across workloads, so a later workload whose probe signature
+        matches an earlier one skips its selection run (probe cost is
+        charged to ``search_cost_s``).  Per-session seeds are unchanged,
+        so non-ROBOTune records are identical in either mode.
+    warm_start:
+        Directory of prior-session journals forwarded to every ROBOTune
+        session (see :class:`~repro.core.tuner.ROBOTune` ``warm_start``).
+        Fail-fast validated at construction; ``None`` starts cold.
     trace_dir:
         Directory for per-session JSONL traces.  Each session gets its
         own file (``{tuner}-{workload}-{dataset}-trial{N}.jsonl``) and
@@ -170,6 +185,8 @@ class ComparisonStudy:
                  batch_size: int = 1,
                  async_workers: int = 0,
                  supervise=None,
+                 map_workloads: bool = False,
+                 warm_start: str | Path | None = None,
                  trace_dir: str | Path | None = None,
                  base_seed: int = 0):
         if not 0.0 <= fault_rate <= 1.0:
@@ -198,6 +215,11 @@ class ComparisonStudy:
         unknown = set(self.tuners) - set(TUNER_NAMES)
         if unknown:
             raise ValueError(f"unknown tuners: {sorted(unknown)}")
+        self.map_workloads = bool(map_workloads)
+        if warm_start is not None:
+            journal_paths(warm_start)  # fail fast before any session runs
+        # Stored as a plain string to keep the study picklable.
+        self.warm_start = str(warm_start) if warm_start is not None else None
         self.cluster = cluster
         self.time_limit_s = time_limit_s
         self.keep_results = keep_results
@@ -212,7 +234,8 @@ class ComparisonStudy:
 
     # -- tuner construction ------------------------------------------------------
     def _make_tuner(self, name: str, rng: np.random.Generator,
-                    stores: dict) -> Tuner:
+                    stores: dict,
+                    mapper: WorkloadMapper | None = None) -> Tuner:
         if name == "ROBOTune":
             selector = (self.selector_factory(rng) if self.selector_factory
                         else ParameterSelector(n_repeats=5, rng=rng))
@@ -221,7 +244,9 @@ class ComparisonStudy:
                             memo_buffer=stores["memo"],
                             batch_size=self.batch_size,
                             async_workers=self.async_workers,
-                            supervise=self.supervise, rng=rng)
+                            supervise=self.supervise,
+                            warm_start=self.warm_start,
+                            mapper=mapper, rng=rng)
         if name == "BestConfig":
             return BestConfig()
         if name == "Gunther":
@@ -240,10 +265,17 @@ class ComparisonStudy:
         the warm stores D1 populated.  Records are appended in the same
         nested order the sequential loop produced.
         """
-        sweeps = [(trial, workload, tuner_name)
-                  for trial in range(self.trials)
-                  for workload in self.workloads
-                  for tuner_name in self.tuners]
+        if self.map_workloads:
+            # Whole-grid sweeps: the mapper and knowledge stores persist
+            # across every workload of a (trial, tuner) pair.
+            sweeps = [(trial, None, tuner_name)
+                      for trial in range(self.trials)
+                      for tuner_name in self.tuners]
+        else:
+            sweeps = [(trial, workload, tuner_name)
+                      for trial in range(self.trials)
+                      for workload in self.workloads
+                      for tuner_name in self.tuners]
         sweep_records = parallel_map(self._run_sweep, sweeps,  # repro: noqa RPP002 -- ComparisonStudy is picklable by design (plain config attrs only); process-backend round-trip is covered by tests/bench/test_harness_parallel.py
                                      n_jobs=self.n_jobs,
                                      backend=self.parallel_backend)
@@ -257,18 +289,27 @@ class ComparisonStudy:
                              f"cost={rec.search_cost_s / 60:.0f}min")
         return study
 
-    def _run_sweep(self, sweep: tuple[int, str, str]) -> list[SessionRecord]:
-        """All datasets of one (trial, workload, tuner) sweep, in order."""
+    def _run_sweep(self, sweep: tuple[int, str | None, str]
+                   ) -> list[SessionRecord]:
+        """All datasets of one (trial, workload, tuner) sweep, in order.
+
+        A ``None`` workload (``map_workloads`` mode) visits every
+        workload of the grid with shared stores and a shared mapper.
+        """
         trial, workload, tuner_name = sweep
         # Knowledge stores persist across this workload's datasets
         # within one (trial, tuner) sweep.
         stores = {"cache": ParameterSelectionCache(),
                   "memo": ConfigMemoizationBuffer()}
-        return [self._run_session(tuner_name, workload, dataset, trial, stores)
-                for dataset in self.datasets]
+        mapper = WorkloadMapper(self.space) if workload is None else None
+        workloads = self.workloads if workload is None else [workload]
+        return [self._run_session(tuner_name, wl, dataset, trial, stores,
+                                  mapper)
+                for wl in workloads for dataset in self.datasets]
 
     def _run_session(self, tuner_name: str, workload: str, dataset: str,
-                     trial: int, stores: dict) -> SessionRecord:
+                     trial: int, stores: dict,
+                     mapper: WorkloadMapper | None = None) -> SessionRecord:
         # Stable across processes (unlike builtin hash, which is salted).
         key = f"{self.base_seed}|{tuner_name}|{workload}|{dataset}|{trial}"
         seed = zlib.crc32(key.encode())
@@ -293,7 +334,7 @@ class ComparisonStudy:
             objective = FaultInjector(
                 objective, FaultPlan(self.fault_rate, seed=seed + 2),
                 retry=retry, tracer=tracer)
-        tuner = self._make_tuner(tuner_name, rng, stores)
+        tuner = self._make_tuner(tuner_name, rng, stores, mapper)
         try:
             result = tuner.tune(objective, self.budget, rng=rng,
                                 tracer=tracer)

@@ -29,7 +29,9 @@ from .bench.reporting import format_table
 from .core.journal import EvaluationJournal
 from .core.memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from .core.selection import ParameterSelector
+from .core.transfer import WorkloadMapper
 from .core.tuner import ROBOTune
+from .core.warmstart import journal_paths
 from .faults import FaultInjector, FaultPlan, RetryPolicy
 from .obs import (InMemorySink, JsonlTraceWriter, Tracer, render_aggregate,
                   render_summary, summarize)
@@ -70,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs(p_tune)
     _batch(p_tune)
     _resilience(p_tune)
+    p_tune.add_argument("--warm-start", default=None, metavar="DIR",
+                        dest="warm_start",
+                        help="fold prior-session evaluation journals from "
+                             "DIR into the surrogate before iteration 0 "
+                             "(LOCAT-style transfer; journals from other "
+                             "datasets of the same workload contribute via "
+                             "a normalized-datasize feature) — see "
+                             "docs/PERFORMANCE.md")
     p_tune.add_argument("--trace", default=None, metavar="FILE",
                         help="write a structured JSONL trace of the session "
                              "(schema v1 — see docs/OBSERVABILITY.md); the "
@@ -97,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
     _jobs(p_cmp)
     _batch(p_cmp)
     _resilience(p_cmp)
+    p_cmp.add_argument("--warm-start", default=None, metavar="DIR",
+                       dest="warm_start",
+                       help="warm-start every ROBOTune session from the "
+                            "evaluation journals in DIR (other tuners are "
+                            "unaffected)")
+    p_cmp.add_argument("--map-workloads", action="store_true",
+                       dest="map_workloads",
+                       help="share a signature-based workload mapper across "
+                            "the compared workloads: a workload whose probe "
+                            "signature matches an earlier one reuses its "
+                            "selected parameters instead of paying the full "
+                            "selection run (ROBOTune only; probe cost is "
+                            "charged to search cost); pass several "
+                            "workloads as --workload a,b,c")
     p_cmp.add_argument("--trace", default=None, metavar="DIR",
                        help="write one JSONL trace per (tuner, trial) "
                             "session into DIR")
@@ -123,7 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="pagerank",
-                   help="workload name or abbreviation (PR/KM/CC/LR/TS)")
+                   help="workload name or abbreviation (PR/KM/CC/LR/TS); "
+                        "the compare command also accepts a comma-"
+                        "separated list")
     p.add_argument("--dataset", default="D1", choices=list(DATASET_LABELS))
     p.add_argument("--budget", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
@@ -212,6 +238,11 @@ def _validate_resilience(args) -> str | None:
             and Path(args.journal).stat().st_size > 0:
         return f"journal {args.journal} already holds a session; " \
                "pass --resume to continue it or remove the file"
+    if getattr(args, "warm_start", None):
+        try:
+            journal_paths(args.warm_start)
+        except ValueError as exc:
+            return str(exc)
     return None
 
 
@@ -291,7 +322,8 @@ def cmd_tune(args) -> int:
     tuner = ROBOTune(selection_cache=cache, memo_buffer=memo,
                      n_jobs=args.jobs, batch_size=args.batch,
                      async_workers=args.async_workers,
-                     supervise=_supervise_policy(args), rng=args.seed)
+                     supervise=_supervise_policy(args),
+                     warm_start=args.warm_start, rng=args.seed)
     if args.journal:
         journal = EvaluationJournal(args.journal)
         if args.resume:
@@ -313,6 +345,10 @@ def cmd_tune(args) -> int:
     print(f"selected params: {', '.join(result.selected_parameters)}")
     print(f"evaluations:     {result.n_evaluations} "
           f"(search cost {result.search_cost_s / 60:.1f} min)")
+    if args.warm_start:
+        print(f"warm start:      {result.warm_start_n} prior evaluation(s) "
+              f"from {len(result.warm_start_sources)} journal(s) "
+              f"in {args.warm_start}")
     print(f"best objective:  {result.best_time_s:.1f} "
           f"({'s' if args.metric == 'time' else args.metric})")
     if args.faults:
@@ -343,14 +379,26 @@ def cmd_tune(args) -> int:
 
 def cmd_compare(args) -> int:
     space = spark_space()
-    tuners = {"ROBOTune": lambda s: ROBOTune(n_jobs=args.jobs,
-                                             batch_size=args.batch,
-                                             async_workers=args.async_workers,
-                                             supervise=_supervise_policy(args),
-                                             rng=s),
-              "BestConfig": lambda s: BestConfig(),
-              "Gunther": lambda s: Gunther(),
-              "RandomSearch": lambda s: RandomSearch()}
+    workload_names = [w.strip() for w in args.workload.split(",")
+                      if w.strip()]
+    multi = len(workload_names) > 1
+
+    def make_robotune(s, stores=None, mapper=None):
+        return ROBOTune(n_jobs=args.jobs,
+                        batch_size=args.batch,
+                        async_workers=args.async_workers,
+                        supervise=_supervise_policy(args),
+                        warm_start=args.warm_start,
+                        mapper=mapper,
+                        selection_cache=stores["cache"] if stores else None,
+                        memo_buffer=stores["memo"] if stores else None,
+                        rng=s)
+
+    tuners = {"ROBOTune": make_robotune,
+              "BestConfig": lambda s, stores=None, mapper=None: BestConfig(),
+              "Gunther": lambda s, stores=None, mapper=None: Gunther(),
+              "RandomSearch":
+                  lambda s, stores=None, mapper=None: RandomSearch()}
     trace_dir = Path(args.trace) if args.trace else None
     if trace_dir is not None:
         trace_dir.mkdir(parents=True, exist_ok=True)
@@ -361,34 +409,45 @@ def cmd_compare(args) -> int:
         bests, costs = [], []
         for t in range(args.trials):
             seed = args.seed * 997 + t
-            objective = WorkloadObjective(
-                get_workload(args.workload, args.dataset), space,
-                rng=seed + 1)
-            try:
-                tracer, trace_mem = _make_tracer(
-                    trace_dir / f"{name}-trial{t}.jsonl"
-                    if trace_dir is not None else None,
-                    args.trace_summary,
-                    {"command": "compare", "tuner": name,
-                     "workload": f"{args.workload}/{args.dataset}",
-                     "trial": t, "budget": args.budget, "seed": seed})
-            except FileExistsError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-            objective = _wrap_faults(objective, args, seed + 2, tracer)
-            res = make(seed).tune(objective, args.budget, rng=seed,
-                                  tracer=tracer)
-            if tracer is not None:
-                tracer.close()
-                if trace_mem is not None:
-                    summaries.append(summarize(trace_mem.records))
-            try:
-                bests.append(res.best_time_s)
-            except RuntimeError:
-                # Every evaluation failed (heavy fault injection on a
-                # tiny budget): report NaN rather than crashing.
-                bests.append(float("nan"))
-            costs.append(res.search_cost_s)
+            # --map-workloads: one mapper and one set of knowledge
+            # stores per (tuner, trial), shared across the workloads.
+            mapper = WorkloadMapper(space) \
+                if args.map_workloads and name == "ROBOTune" else None
+            stores = {"cache": ParameterSelectionCache(),
+                      "memo": ConfigMemoizationBuffer()} \
+                if args.map_workloads else None
+            for w_i, wname in enumerate(workload_names):
+                objective = WorkloadObjective(
+                    get_workload(wname, args.dataset), space,
+                    rng=seed + 1 + w_i)
+                trace_name = f"{name}-{wname}-trial{t}.jsonl" if multi \
+                    else f"{name}-trial{t}.jsonl"
+                try:
+                    tracer, trace_mem = _make_tracer(
+                        trace_dir / trace_name
+                        if trace_dir is not None else None,
+                        args.trace_summary,
+                        {"command": "compare", "tuner": name,
+                         "workload": f"{wname}/{args.dataset}",
+                         "trial": t, "budget": args.budget, "seed": seed})
+                except FileExistsError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                objective = _wrap_faults(objective, args, seed + 2 + w_i,
+                                         tracer)
+                res = make(seed, stores, mapper).tune(objective, args.budget,
+                                                      rng=seed, tracer=tracer)
+                if tracer is not None:
+                    tracer.close()
+                    if trace_mem is not None:
+                        summaries.append(summarize(trace_mem.records))
+                try:
+                    bests.append(res.best_time_s)
+                except RuntimeError:
+                    # Every evaluation failed (heavy fault injection on a
+                    # tiny budget): report NaN rather than crashing.
+                    bests.append(float("nan"))
+                costs.append(res.search_cost_s)
         rows.append([name, float(np.nanmean(bests)) if not
                      all(np.isnan(bests)) else float("nan"),
                      float(np.mean(costs)) / 60.0])
@@ -399,8 +458,8 @@ def cmd_compare(args) -> int:
         row.append(row[2] / baseline_cost)
     print(format_table(
         ["Tuner", "best (s)", "cost (min)", "best/RS", "cost/RS"], rows,
-        title=f"{args.workload}/{args.dataset}, budget {args.budget}, "
-              f"{args.trials} trial(s)"))
+        title=f"{','.join(workload_names)}/{args.dataset}, "
+              f"budget {args.budget}, {args.trials} trial(s)"))
     if trace_dir is not None:
         print(f"traces written to {trace_dir}/")
     if summaries:

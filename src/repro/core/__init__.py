@@ -17,30 +17,34 @@ from .memo import ConfigMemoizationBuffer, MemoizedConfig, ParameterSelectionCac
 from .selection import ParameterSelector, SelectionResult
 from .transfer import MappingResult, WorkloadMapper
 from .tuner import ROBOTune, ROBOTuneResult
+from .warmstart import WarmStartData, load_warm_start, scan_journals
 
 __all__ = [
     "AcquisitionFunction",
     "ProbabilityOfImprovement",
     "ExpectedImprovement",
     "LowerConfidenceBound",
-    "DEFAULT_XI",
-    "DEFAULT_KAPPA",
+    "DEFAULT_XI",  # repro: noqa RPE001 -- documented paper knob users pass to PI/EI overrides (docs/API.md)
+    "DEFAULT_KAPPA",  # repro: noqa RPE001 -- documented paper knob users pass to LCB overrides (docs/API.md)
     "GPHedge",
-    "HedgeChoice",
+    "HedgeChoice",  # repro: noqa RPE001 -- result type returned by GPHedge.select; consumers read its fields
     "BOEngine",
     "BOIterationRecord",
     "LocalPenalizer",
     "MedianGuard",
     "EvaluationJournal",
     "JournaledObjective",
-    "EvalRecord",
+    "EvalRecord",  # repro: noqa RPE001 -- record type returned by EvaluationJournal.load and scan_journals
     "ParameterSelectionCache",
     "ConfigMemoizationBuffer",
-    "MemoizedConfig",
+    "MemoizedConfig",  # repro: noqa RPE001 -- result type returned by ConfigMemoizationBuffer.best
     "ParameterSelector",
     "SelectionResult",
     "WorkloadMapper",
-    "MappingResult",
+    "MappingResult",  # repro: noqa RPE001 -- result type returned by WorkloadMapper.map; consumers read its fields
     "ROBOTune",
     "ROBOTuneResult",
+    "WarmStartData",
+    "load_warm_start",
+    "scan_journals",  # repro: noqa RPE001 -- user-facing helper to inspect a warm-start directory before a session
 ]

@@ -22,6 +22,7 @@ from scipy.optimize import minimize
 
 from ..gp.gpr import GaussianProcessRegressor, default_bo_kernel
 from ..gp.kernels import Kernel
+from ..gp.lowrank import LowRankGaussianProcessRegressor
 from ..obs import as_tracer, evaluation_data
 from ..sampling.lhs import latin_hypercube
 from ..space.space import ConfigSpace
@@ -35,8 +36,57 @@ from ..utils.rng import as_generator
 from .guard import MedianGuard
 from .hedge import GPHedge
 from .penalize import LocalPenalizer
+from .warmstart import WarmStartData
 
 __all__ = ["BOEngine", "BOIterationRecord"]
+
+
+class _ContextGP:
+    """Query-time view of a datasize-augmented (warm-started) surrogate.
+
+    The inner GP is trained jointly on warm-start rows plus the current
+    session's observations, each with a normalized-datasize context
+    column appended (LOCAT-style).  This view presents the engine's
+    d-dimensional picture: every query is augmented with the session's
+    fixed context value, input gradients drop the context coordinate
+    (it is constant within a session), and ``X_train_``/``y_train_``
+    expose only the current-session rows — restoring the index alignment
+    with the engine's observation window that the nomination and
+    penalization code relies on.
+    """
+
+    def __init__(self, inner, n_warm: int, size: float):
+        self._inner = inner
+        self._n_warm = int(n_warm)
+        self._size = float(size)
+
+    def _augment(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        col = np.full((X.shape[0], 1), self._size)
+        return np.hstack([X, col])
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        return self._inner.predict(self._augment(X), return_std)
+
+    def fast_predict(self, X: np.ndarray):
+        return self._inner.fast_predict(self._augment(X))
+
+    def predict_with_gradient(self, x: np.ndarray):
+        xc = np.append(np.asarray(x, dtype=float), self._size)
+        mu, sigma, dmu, dsigma = self._inner.predict_with_gradient(xc)
+        return mu, sigma, dmu[:-1], dsigma[:-1]
+
+    @property
+    def X_train_(self) -> np.ndarray:
+        return self._inner.X_train_[self._n_warm:, :-1]
+
+    @property
+    def y_train_(self) -> np.ndarray:
+        return self._inner.y_train_[self._n_warm:]
+
+    @property
+    def kernel(self):
+        return self._inner.kernel
 
 
 def _spawn_capable(evaluate) -> bool:
@@ -165,6 +215,35 @@ class BOEngine:
     refine_starts:
         Sweep candidates polished per acquisition when ``gradients`` is
         on (the gradient refinement is cheap enough to multi-start).
+    gp_max_exact:
+        Training-set size above which the surrogate switches from the
+        exact GP (O(n³) fit) to the low-rank
+        :class:`~repro.gp.LowRankGaussianProcessRegressor` (O(n·m²) fit,
+        O(m²) per prediction).  The default is far above anything a
+        cold session reaches, so decision sequences stay bit-identical
+        to prior versions unless warm-start priors (or a huge budget)
+        push the observation count past it.  A ``gp.mode`` event is
+        emitted whenever the mode changes.
+    gp_inducing:
+        Inducing-point count m for the low-rank path (see
+        docs/PERFORMANCE.md, "Scaling the surrogate").
+    gp_chunk:
+        Acquisition sweeps stream through the surrogate in blocks of at
+        most this many candidates, bounding sweep memory at
+        O(chunk · n_train) instead of O(n_cand · n_train).  The default
+        exceeds the default sweep size, so the default path stays a
+        single block (bit-identical; BLAS blocking makes chunked matmul
+        differ in final bits).  Multi-block sweeps emit ``gp.chunk``
+        events and bump the ``gp.chunk.blocks`` counter.
+    warm_start:
+        Optional :class:`~repro.core.warmstart.WarmStartData`: prior
+        observations folded into the surrogate before iteration 0.  The
+        GP then trains jointly on (d+1)-dimensional rows — the extra
+        column is the normalized datasize context — while nomination,
+        penalization and refinement keep operating in the session's d
+        dimensions through a query-time view.  Warm rows are priors
+        only: they never feed the guard, the Hedge gains, early
+        stopping, or the budget.
     n_jobs:
         Workers for GP multi-start fits and batched evaluation (``None``
         defers to ``ROBOTUNE_JOBS``).  Results are identical for any
@@ -186,6 +265,10 @@ class BOEngine:
                  batch_size: int = 1, async_workers: int = 0,
                  supervise: SupervisePolicy | None = None,
                  refine_starts: int = 4,
+                 gp_max_exact: int = 512,
+                 gp_inducing: int = 96,
+                 gp_chunk: int = 1024,
+                 warm_start: WarmStartData | None = None,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None,
                  tracer=None):
@@ -208,6 +291,15 @@ class BOEngine:
                              "(supervision wraps the async dispatch path)")
         if refine_starts < 1:
             raise ValueError("refine_starts must be >= 1")
+        if gp_max_exact < 2:
+            raise ValueError("gp_max_exact must be >= 2")
+        if gp_inducing < 1:
+            raise ValueError("gp_inducing must be >= 1")
+        if gp_chunk < 8:
+            raise ValueError("gp_chunk must be >= 8")
+        if warm_start is not None and not isinstance(warm_start,
+                                                     WarmStartData):
+            raise TypeError("warm_start must be WarmStartData or None")
         self._kernel_template = kernel or default_bo_kernel()
         self._theta0 = self._kernel_template.theta.copy()
         self._rng = as_generator(rng)
@@ -234,8 +326,14 @@ class BOEngine:
         #: iterations that fell back to an LHS proposal because the GP
         #: could not be fit or the observation window was degenerate.
         self.fallbacks: int = 0
+        self.gp_max_exact = gp_max_exact
+        self.gp_inducing = gp_inducing
+        self.gp_chunk = gp_chunk
+        self.warm_start = warm_start
         self._theta: np.ndarray | None = None
         self._gp: GaussianProcessRegressor | None = None
+        self._gp_lowrank: LowRankGaussianProcessRegressor | None = None
+        self._gp_mode: str | None = None
         self.last_gp: GaussianProcessRegressor | None = None
 
     # -- main loop -----------------------------------------------------------------
@@ -884,26 +982,59 @@ class BOEngine:
         return [evaluate(u, threshold) for u in points]
 
     # -- internals ------------------------------------------------------------------
-    def _fit_gp(self, X: np.ndarray, y: np.ndarray,
-                n_new: int | None) -> GaussianProcessRegressor:
+    def _select_gp(self, n_train: int):
+        """The cached surrogate instance for a training-set size.
+
+        Exact below ``gp_max_exact`` observations, low-rank above; the
+        first use of each mode (and every change) emits a ``gp.mode``
+        event so scale-up is visible in traces.
+        """
+        mode = "exact" if n_train <= self.gp_max_exact else "lowrank"
+        if mode != self._gp_mode:
+            self._tracer.emit("gp.mode", {
+                "mode": mode, "n": int(n_train),
+                "threshold": int(self.gp_max_exact),
+                "m": int(self.gp_inducing) if mode == "lowrank" else None})
+            if self._gp_mode is not None:
+                self._tracer.count("gp.mode.switch")
+            self._gp_mode = mode
+        if mode == "exact":
+            if self._gp is None:
+                self._gp = GaussianProcessRegressor(
+                    kernel=self._kernel_template, normalize_y=True,
+                    n_restarts=2,
+                    analytic_gradients=self.gradients, n_jobs=self.n_jobs,
+                    rng=self._rng, tracer=self._tracer)
+            return self._gp
+        if self._gp_lowrank is None:
+            self._gp_lowrank = LowRankGaussianProcessRegressor(
+                kernel=self._kernel_template, normalize_y=True,
+                n_inducing=self.gp_inducing, n_restarts=2,
+                analytic_gradients=self.gradients, n_jobs=self.n_jobs,
+                rng=self._rng, tracer=self._tracer)
+        return self._gp_lowrank
+
+    def _fit_gp(self, X: np.ndarray, y: np.ndarray, n_new: int | None):
         """Fit the surrogate; full hyperparameter optimization only on
         schedule (n_new is None for the cheap refit after an evaluation).
 
-        One :class:`GaussianProcessRegressor` instance is reused across
-        the whole loop — the kernel template is deep-copied once at
-        construction rather than every iteration.  Off-schedule refits go
-        through the GP's warm :meth:`~GaussianProcessRegressor.update`
-        path when ``incremental`` is on.
+        One regressor instance per mode is reused across the whole loop —
+        the kernel template is deep-copied once at construction rather
+        than every iteration.  Off-schedule refits go through the GP's
+        warm :meth:`~GaussianProcessRegressor.update` path when
+        ``incremental`` is on.  With warm-start priors, the fit happens
+        jointly on datasize-augmented rows and the returned surrogate is
+        a :class:`_ContextGP` view in the session's own dimensions.
         """
+        ws = self.warm_start
+        if ws is not None and ws.n > 0:
+            X = np.vstack([
+                np.hstack([ws.X, ws.sizes[:, None]]),
+                np.hstack([X, np.full((X.shape[0], 1), ws.current_size)])])
+            y = np.concatenate([ws.y, y])
         full = n_new is not None and (self._theta is None
                                       or n_new % self.hyperopt_every == 0)
-        if self._gp is None:
-            self._gp = GaussianProcessRegressor(
-                kernel=self._kernel_template, normalize_y=True,
-                optimize=full, n_restarts=2,
-                analytic_gradients=self.gradients, n_jobs=self.n_jobs,
-                rng=self._rng, tracer=self._tracer)
-        gp = self._gp
+        gp = self._select_gp(X.shape[0])
         gp.optimize = full
         if (not full and gp._fitted and self._theta is not None
                 and np.array_equal(gp._theta_chol, self._theta)
@@ -912,9 +1043,8 @@ class BOEngine:
             # The post-evaluation cheap refit already factorized exactly
             # this data at exactly these hyperparameters; refitting would
             # reproduce the same Cholesky bit-for-bit, so skip it.
-            self.last_gp = gp
-            return gp
-        if full:
+            pass
+        elif full:
             # Start the likelihood optimization from the template's
             # hyperparameters, exactly as a freshly copied kernel would.
             gp.kernel.theta = self._theta0
@@ -928,19 +1058,49 @@ class BOEngine:
             else:
                 gp.fit(X, y)
         self.last_gp = gp
+        if ws is not None and ws.n > 0:
+            return _ContextGP(gp, ws.n, ws.current_size)
         return gp
 
-    def _standardized(self, gp: GaussianProcessRegressor, y: np.ndarray,
+    def _predict_sweep(self, gp, U: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Stream a candidate sweep through the surrogate in fixed blocks.
+
+        Peak memory for the cross-covariance is O(chunk · n_train)
+        instead of O(n_cand · n_train) — the difference between fitting
+        and not fitting in cache once warm-start priors push n_train
+        into the thousands.  Sweeps at or below ``gp_chunk`` (the
+        default configuration) take the single-block path, whose result
+        is bit-identical to prior versions; multi-block sweeps emit a
+        ``gp.chunk`` event and bump the ``gp.chunk.blocks`` counter.
+        """
+        n = U.shape[0]
+        if n <= self.gp_chunk:
+            return gp.predict(U, return_std=True)
+        mu = np.empty(n)
+        sigma = np.empty(n)
+        blocks = 0
+        for s in range(0, n, self.gp_chunk):
+            e = min(s + self.gp_chunk, n)
+            mu[s:e], sigma[s:e] = gp.predict(U[s:e], return_std=True)
+            blocks += 1
+        self._tracer.emit("gp.chunk", {"n": int(n),
+                                       "chunk": int(self.gp_chunk),
+                                       "blocks": int(blocks)})
+        self._tracer.count("gp.chunk.blocks", blocks)
+        return mu, sigma
+
+    def _standardized(self, gp, y: np.ndarray,
                       U: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
         """(mu, sigma, f_best) on the standardized objective scale."""
-        mu, sigma = gp.predict(U, return_std=True)
+        mu, sigma = self._predict_sweep(gp, U)
         mean = float(y.mean())
         std = _safe_std(y)
         # Censored objectives included: failures repel the search.
         f_best = (float(y.min()) - mean) / std
         return (mu - mean) / std, sigma / std, f_best
 
-    def _nominate(self, gp: GaussianProcessRegressor, y: np.ndarray,
+    def _nominate(self, gp, y: np.ndarray,
                   space: ConfigSpace,
                   penalizer: LocalPenalizer | None = None) -> np.ndarray:
         """One proposed point per portfolio acquisition function.
@@ -987,7 +1147,7 @@ class BOEngine:
                                            float(util[best_cand]))
         return nominees
 
-    def _refine(self, acq, gp: GaussianProcessRegressor, start: np.ndarray,
+    def _refine(self, acq, gp, start: np.ndarray,
                 f_best: float, mean: float, std: float,
                 start_util: float) -> np.ndarray:
         """L-BFGS-B polish of a candidate under one acquisition (§4).
@@ -1010,7 +1170,7 @@ class BOEngine:
                        options={"maxiter": 25})
         return np.clip(res.x, 0.0, 1.0) if res.fun <= -start_util else start
 
-    def _refine_gradient(self, acq, gp: GaussianProcessRegressor,
+    def _refine_gradient(self, acq, gp,
                          starts: np.ndarray, f_best: float, mean: float,
                          std: float, start_utils: np.ndarray) -> np.ndarray:
         """Multi-start L-BFGS-B polish with exact utility gradients.

@@ -29,6 +29,8 @@ from .bo import BOEngine, BOIterationRecord
 from .guard import MedianGuard
 from .memo import ConfigMemoizationBuffer, ParameterSelectionCache
 from .selection import ParameterSelector, SelectionResult
+from .transfer import WorkloadMapper
+from .warmstart import journal_paths, load_warm_start
 
 __all__ = ["ROBOTune", "ROBOTuneResult"]
 
@@ -46,6 +48,24 @@ class ROBOTuneResult(TuningResult):
     bo_records: list[BOIterationRecord] = field(default_factory=list)
     #: configurations the supervisor quarantined as poison this session.
     quarantined_configs: list[dict] = field(default_factory=list)
+    #: prior-journal observations folded into the surrogate (0 = cold).
+    warm_start_n: int = 0
+    #: journal files those observations came from.
+    warm_start_sources: tuple[str, ...] = ()
+    #: workload whose selection the mapper reused, when one matched.
+    mapped_from: str | None = None
+    #: execution time the mapper's probe set consumed.
+    mapping_cost_s: float = 0.0
+
+    @property
+    def search_cost_s(self) -> float:
+        """Simulated search cost including mapper probes (§5.3).
+
+        Probe evaluations execute on the cluster just like tuning
+        samples, so their time is charged to the search — unlike
+        ``selection_cost_s``, which the paper reports separately.
+        """
+        return super().search_cost_s + self.mapping_cost_s
 
 
 class ROBOTune(Tuner):
@@ -85,6 +105,21 @@ class ROBOTune(Tuner):
         supervisor quarantines are additionally blocked out of the
         memoization buffer after the session so they never seed a future
         one.  See docs/ROBUSTNESS.md.
+    warm_start:
+        Directory of prior-session :class:`EvaluationJournal` files.
+        Journals matching this session's workload (or one the *mapper*
+        matched) are encoded into the reduced space, given a normalized
+        datasize context column, and folded into the surrogate before
+        iteration 0 (see :mod:`repro.core.warmstart`).  Validated
+        fail-fast at construction; ``None`` (default) starts cold.
+    mapper:
+        Optional shared :class:`WorkloadMapper`.  On a selection-cache
+        miss the workload is probed first; a strong signature match
+        reuses the matched workload's selected parameters (skipping the
+        100-sample selection run) and admits its journals as warm-start
+        priors.  Unmatched workloads pay the full selection and are then
+        registered so *future* sessions can map onto them.  Probe time
+        is charged to ``search_cost_s``.
     engine_kwargs:
         Extra arguments forwarded to :class:`BOEngine` (portfolio, candidate
         counts, early stopping, gradients, ...).
@@ -109,6 +144,8 @@ class ROBOTune(Tuner):
                  batch_size: int = 1,
                  async_workers: int = 0,
                  supervise: SupervisePolicy | None = None,
+                 warm_start: str | None = None,
+                 mapper: WorkloadMapper | None = None,
                  engine_kwargs: dict | None = None,
                  n_jobs: int | None = None,
                  rng: np.random.Generator | int | None = None):
@@ -136,6 +173,10 @@ class ROBOTune(Tuner):
         self.batch_size = batch_size
         self.async_workers = async_workers
         self.supervise = supervise
+        if warm_start is not None:
+            journal_paths(warm_start)  # fail fast before any cluster time
+        self.warm_start = warm_start
+        self.mapper = mapper
         self.engine_kwargs = dict(engine_kwargs or {})
         self.engine_kwargs.setdefault("batch_size", batch_size)
         self.engine_kwargs.setdefault("async_workers", async_workers)
@@ -172,6 +213,23 @@ class ROBOTune(Tuner):
             selected = self.selection_cache.get(cache_key) if cache_key \
                 else None
             result.selection_cache_hit = selected is not None
+            mapping = None
+            if selected is None and self.mapper is not None and cache_key:
+                with tracer.span("transfer.probe"):
+                    mapping = self.mapper.map(objective)
+                result.mapping_cost_s = mapping.probe_cost_s
+                tracer.emit("transfer.map",
+                            {"workload": cache_key,
+                             "matched": mapping.matched,
+                             "correlation": float(mapping.correlation),
+                             "probe_cost_s": float(mapping.probe_cost_s),
+                             "n_probes": int(self.mapper.n_probes)})
+                if mapping.matched is not None:
+                    selected = self.mapper.selected_for(mapping.matched)
+                    result.mapped_from = mapping.matched
+                    self.mapper.register(cache_key, mapping.signature,
+                                         selected)
+                    self.selection_cache.put(cache_key, selected)
             if selected is None:
                 selector = self.selector or ParameterSelector(
                     rng=rng, n_jobs=self.n_jobs)
@@ -185,6 +243,11 @@ class ROBOTune(Tuner):
                 selected = list(sel.selected)
                 if cache_key:
                     self.selection_cache.put(cache_key, selected)
+                if mapping is not None and selected:
+                    # Unmatched workload: record its probe signature so
+                    # future sessions can map onto this selection.
+                    self.mapper.register(cache_key, mapping.signature,
+                                         selected)
             else:
                 tracer.emit("selection.params",
                             {"selected": list(selected), "groups": [],
@@ -203,6 +266,18 @@ class ROBOTune(Tuner):
                                      base=base)
             result.reduced_space = reduced
             reduced_objective = self._rebind(objective, reduced)
+
+            # ---- journal-backed warm start ------------------------------------
+            warm = None
+            if self.warm_start is not None and wl is not None:
+                accept = [result.mapped_from] if result.mapped_from else []
+                warm = load_warm_start(self.warm_start, wl, reduced,
+                                       accept_workloads=accept,
+                                       memo=self.memo_buffer,
+                                       tracer=tracer)
+                if warm is not None:
+                    result.warm_start_n = warm.n
+                    result.warm_start_sources = tuple(warm.sources)
 
             # ---- memoized sampling: initial training set ----------------------
             init_vectors = self._initial_design(reduced, cache_key, budget,
@@ -223,8 +298,10 @@ class ROBOTune(Tuner):
                 guard = MedianGuard(self.guard_multiplier,
                                     static_limit_s=objective.time_limit_s,
                                     tracer=tracer)
-                engine = BOEngine(rng=rng, tracer=tracer,
-                                  **self.engine_kwargs)
+                engine_kwargs = dict(self.engine_kwargs)
+                if warm is not None:
+                    engine_kwargs["warm_start"] = warm
+                engine = BOEngine(rng=rng, tracer=tracer, **engine_kwargs)
                 with tracer.span("bo", budget=int(remaining)):
                     bo_evals = engine.minimize(reduced_objective, reduced,
                                                init_evals, remaining, guard)

@@ -1,0 +1,246 @@
+"""Journal-backed warm starts for the BO surrogate (LOCAT-style transfer).
+
+Every checkpointed tuning session leaves an :class:`EvaluationJournal`
+behind; those journals are the accumulated experience of the cluster.
+This module scans a directory of them, keeps the evaluations belonging to
+the session's workload (exact name match — or additional names the
+:class:`~repro.core.transfer.WorkloadMapper` judged equivalent), encodes
+each prior configuration into the *current* reduced space, and appends a
+normalized-datasize feature column so observations from different dataset
+sizes inform the surrogate without being mistaken for same-size ones
+(LOCAT, PAPERS.md).  :class:`~repro.core.bo.BOEngine` folds the result
+into the GP before iteration 0: prior observations shape the posterior
+but are never re-evaluated, never feed the kill-threshold guard and never
+consume budget.
+
+No linear algebra happens here — the module only assembles arrays; every
+factorization lives in ``repro.gp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from ..obs import as_tracer
+from ..space.space import ConfigSpace
+from ..workloads.base import Workload
+from ..workloads.registry import get_workload
+from .journal import EvaluationJournal
+from .memo import ConfigMemoizationBuffer
+
+__all__ = ["WarmStartData", "load_warm_start", "scan_journals",
+           "journal_paths"]
+
+#: Journal filename patterns recognized by :func:`scan_journals`.
+_JOURNAL_GLOBS = ("*.jsonl", "*.journal")
+
+
+@dataclass(frozen=True)
+class WarmStartData:
+    """Prior observations ready to fold into the surrogate.
+
+    ``X`` holds the prior configurations encoded into the *current*
+    session's reduced space (parameters a prior session tuned but this
+    one does not are simply dropped by the encoding; parameters it did
+    not tune fall back to defaults).  ``sizes`` is the LOCAT-style
+    normalized datasize of each observation and ``current_size`` the
+    session's own, so the engine can append the context column to both
+    prior and live rows consistently.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    sizes: np.ndarray
+    current_size: float
+    sources: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2:
+            raise ValueError("warm-start X must be 2-D")
+        if self.y.shape != (self.X.shape[0],) \
+                or self.sizes.shape != (self.X.shape[0],):
+            raise ValueError("warm-start X, y and sizes must agree in length")
+        if not 0.0 < self.current_size <= 1.0:
+            raise ValueError("current_size must be in (0, 1]")
+
+    @property
+    def n(self) -> int:
+        return self.X.shape[0]
+
+
+def journal_paths(directory: str | Path) -> list[Path]:
+    """Journal files under *directory*, fail-fast validated.
+
+    Raises ``ValueError`` when the directory is missing, is not a
+    directory, or holds no journal files — the cheap check a CLI or
+    tuner constructor runs before any cluster time is spent.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ValueError(f"warm-start directory {directory} does not exist "
+                         "or is not a directory")
+    paths = sorted(p for pattern in _JOURNAL_GLOBS
+                   for p in directory.glob(pattern))
+    if not paths:
+        raise ValueError(f"warm-start directory {directory} contains no "
+                         f"journal files ({' / '.join(_JOURNAL_GLOBS)})")
+    return paths
+
+
+def scan_journals(directory: str | Path
+                  ) -> list[tuple[Path, dict, list]]:
+    """Parse every journal under *directory*: ``(path, meta, records)``.
+
+    Fails fast on an unusable directory (missing, not a directory, or
+    holding no journal files at all) — the CLI surfaces that before any
+    cluster time is spent.  Individual journals that cannot be parsed are
+    skipped (a torn final line is already tolerated by the journal
+    itself).
+    """
+    out = []
+    for path in journal_paths(directory):
+        try:
+            meta, records = EvaluationJournal(path).load()
+        except (OSError, ValueError, KeyError):
+            continue
+        out.append((path, meta, records))
+    return out
+
+
+def _dataset_scale(workload_name: str, label: str) -> float | None:
+    """Native scale of a workload's labelled dataset; None when unknown."""
+    try:
+        return float(get_workload(workload_name, label).dataset.scale)
+    except KeyError:
+        return None
+
+
+def load_warm_start(directory: str | Path, workload: Workload,
+                    space: ConfigSpace, *,
+                    accept_workloads: Iterable[str] = (),
+                    memo: ConfigMemoizationBuffer | None = None,
+                    max_points: int = 1024,
+                    tracer=None) -> WarmStartData | None:
+    """Assemble :class:`WarmStartData` from a directory of prior journals.
+
+    Parameters
+    ----------
+    directory:
+        Directory of prior-session journals (fail-fast validated).
+    workload:
+        The current session's workload; journals are matched on its
+        ``key`` (name without dataset — priors from *other datasets* of
+        the same workload are exactly the transfer-learning payoff).
+    space:
+        The current session's (reduced) tuning space; prior configs are
+        encoded into it.
+    accept_workloads:
+        Additional workload names to accept, e.g. ones a
+        :class:`~repro.core.transfer.WorkloadMapper` mapped onto this
+        workload's selection.
+    memo:
+        The memoization buffer; prior observations whose configuration
+        the buffer already carries for this workload are dropped (the
+        initial design re-evaluates those configs, so keeping them would
+        duplicate rows at the same context).
+    max_points:
+        Cap on folded observations.  Over the cap, the chronological
+        sequence is thinned to evenly spaced survivors — deterministic,
+        and it preserves coverage instead of biasing toward any one
+        session.
+
+    Returns None (cold start) when no journal matches the workload;
+    raises ``ValueError`` only for an unusable directory.
+    """
+    if max_points < 1:
+        raise ValueError("max_points must be >= 1")
+    tracer = as_tracer(tracer)
+    names = {workload.key} | set(accept_workloads)
+    journals = scan_journals(directory)
+
+    # Normalization denominator: the largest known scale for this
+    # workload (Table 1 plus the session's own dataset), so the feature
+    # is stable no matter which subset of journals is present.  Synthetic
+    # workloads carry no scale; their own dataset normalizes to 1.0 and
+    # journals from *other* datasets are skipped (scale unknowable).
+    current_scale = float(getattr(workload.dataset, "scale", 1.0))
+    scales: dict[str, float] = {workload.dataset.label: current_scale}
+    denom = current_scale
+    for label in ("D1", "D2", "D3"):
+        scale = _dataset_scale(workload.key, label)
+        if scale is not None:
+            scales[label] = scale
+            denom = max(denom, scale)
+
+    memo_keys: set[bytes] = set()
+    if memo is not None:
+        for mc in memo.best(workload.key, k=len(memo) + 8):
+            memo_keys.add(space.encode(mc.config).tobytes())
+
+    vectors: list[np.ndarray] = []
+    ys: list[float] = []
+    sizes: list[float] = []
+    sources: list[str] = []
+    skipped = 0
+    deduped = 0
+    seen: set[bytes] = set()
+    for path, meta, records in journals:
+        full_key = str(meta.get("workload", ""))
+        name, _, label = full_key.partition("/")
+        if name not in names:
+            skipped += 1
+            continue
+        # A mapped (foreign) workload's sizes come from its own Table 1
+        # row, never from the current workload's label scales.
+        scale = scales.get(label) if name == workload.key \
+            else _dataset_scale(name, label)
+        if scale is None:
+            # Unlabelled or custom dataset: unusable for the datasize
+            # feature; skip rather than guess a context.
+            skipped += 1
+            continue
+        size = min(scale / denom, 1.0)
+        used = False
+        for rec in records:
+            if rec.fault == "crash_recovery":
+                continue  # synthesized, never executed: no signal
+            u = space.encode(rec.config)
+            key = u.tobytes() + np.float64(size).tobytes()
+            if key in seen or u.tobytes() in memo_keys:
+                deduped += 1
+                continue
+            seen.add(key)
+            vectors.append(u)
+            ys.append(float(rec.objective))
+            sizes.append(size)
+            used = True
+        if used:
+            sources.append(str(path))
+
+    if not vectors:
+        tracer.emit("warmstart.load", {"n": 0, "journals": len(journals),
+                                       "skipped": skipped,
+                                       "deduped": deduped,
+                                       "workload": workload.key})
+        return None
+
+    X = np.vstack(vectors)
+    y = np.asarray(ys, dtype=float)
+    size_arr = np.asarray(sizes, dtype=float)
+    if X.shape[0] > max_points:
+        keep = np.unique(np.linspace(0, X.shape[0] - 1,
+                                     max_points).round().astype(int))
+        X, y, size_arr = X[keep], y[keep], size_arr[keep]
+    data = WarmStartData(X=X, y=y, sizes=size_arr,
+                         current_size=min(current_scale / denom, 1.0),
+                         sources=tuple(sources))
+    tracer.emit("warmstart.load", {"n": int(data.n),
+                                   "journals": len(journals),
+                                   "skipped": skipped,
+                                   "deduped": deduped,
+                                   "workload": workload.key})
+    return data

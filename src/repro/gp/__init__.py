@@ -1,4 +1,4 @@
-"""Gaussian-process substrate: kernels and exact GP regression."""
+"""Gaussian-process substrate: kernels, exact and low-rank GP regression."""
 
 from .kernels import (
     ConstantKernel,
@@ -10,6 +10,7 @@ from .kernels import (
     WhiteKernel,
 )
 from .gpr import GaussianProcessRegressor, default_bo_kernel
+from .lowrank import LowRankGaussianProcessRegressor, select_inducing
 
 __all__ = [
     "Kernel",
@@ -20,5 +21,7 @@ __all__ = [
     "Sum",
     "Product",
     "GaussianProcessRegressor",
+    "LowRankGaussianProcessRegressor",
     "default_bo_kernel",
+    "select_inducing",
 ]

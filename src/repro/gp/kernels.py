@@ -118,6 +118,29 @@ class Kernel(ABC):
         """
         raise NotImplementedError
 
+    def cross_value_and_theta_gradient(self, X: np.ndarray, Y: np.ndarray
+                                       ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Cross covariance ``k(X, Y)`` together with ``∂k(X, Y)/∂θ_i``.
+
+        The cross convention of :meth:`__call__` with an explicit *Y*
+        applies: white-noise components contribute zero (and a zero
+        gradient), so the result is the *latent* covariance even when the
+        same array is passed twice.  Returns ``(K, grads)`` with one
+        ``(n, p)`` matrix per log-space hyperparameter, in :attr:`theta`
+        order; the matrices never alias each other.
+        """
+        raise NotImplementedError
+
+    def diag_theta_gradient(self, X: np.ndarray
+                            ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """``diag(k(X, X))`` together with ``∂diag/∂θ_i`` vectors."""
+        raise NotImplementedError
+
+    def latent_diag_theta_gradient(self, X: np.ndarray
+                                   ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """:meth:`latent_diag` together with its ``∂/∂θ_i`` vectors."""
+        raise NotImplementedError
+
     def theta_gradient(self, X: np.ndarray) -> np.ndarray:
         """Stack of ``∂k(X, X)/∂θ_i``, shape ``(len(theta), n, n)``.
 
@@ -176,6 +199,17 @@ class ConstantKernel(Kernel):
         # d/dlog(v) of v = v, i.e. the kernel matrix itself.
         return K, [K.copy()]
 
+    def cross_value_and_theta_gradient(self, X, Y):
+        K = np.full((X.shape[0], Y.shape[0]), self.value)
+        return K, [K.copy()]
+
+    def diag_theta_gradient(self, X):
+        d = np.full(X.shape[0], self.value)
+        return d, [d.copy()]
+
+    def latent_diag_theta_gradient(self, X):
+        return self.diag_theta_gradient(X)
+
     def input_gradient(self, x, X):
         return np.zeros((X.shape[0], x.shape[0]))
 
@@ -220,6 +254,18 @@ class RBF(Kernel):
         K = np.exp(-0.5 * q)
         # K = exp(-q/2) with q = d²/ℓ²; dq/dlogℓ = -2q, so dK/dlogℓ = K·q.
         return K, [K * q]
+
+    def cross_value_and_theta_gradient(self, X, Y):
+        q = _cdist_sq(X, Y) / self.length_scale ** 2
+        K = np.exp(-0.5 * q)
+        return K, [K * q]
+
+    def diag_theta_gradient(self, X):
+        n = X.shape[0]
+        return np.ones(n), [np.zeros(n)]
+
+    def latent_diag_theta_gradient(self, X):
+        return self.diag_theta_gradient(X)
 
     def input_gradient(self, x, X):
         diff = x[None, :] - X
@@ -278,6 +324,21 @@ class Matern52(Kernel):
         dK = (s2 / 3.0) * (1.0 + s) * es
         return K, [dK]
 
+    def cross_value_and_theta_gradient(self, X, Y):
+        s = math.sqrt(5.0) * np.sqrt(_cdist_sq(X, Y)) / self.length_scale
+        es = np.exp(-s)
+        s2 = s ** 2
+        K = (1.0 + s + s2 / 3.0) * es
+        dK = (s2 / 3.0) * (1.0 + s) * es
+        return K, [dK]
+
+    def diag_theta_gradient(self, X):
+        n = X.shape[0]
+        return np.ones(n), [np.zeros(n)]
+
+    def latent_diag_theta_gradient(self, X):
+        return self.diag_theta_gradient(X)
+
     def input_gradient(self, x, X):
         diff = x[None, :] - X
         r = np.sqrt(np.sum(diff ** 2, axis=1))
@@ -331,6 +392,18 @@ class WhiteKernel(Kernel):
         n = X.shape[0] if d2 is None else d2.shape[0]
         K = self.noise_level * _eye(n)
         return K, [K.copy()]
+
+    def cross_value_and_theta_gradient(self, X, Y):
+        K = np.zeros((X.shape[0], Y.shape[0]))
+        return K, [K.copy()]
+
+    def diag_theta_gradient(self, X):
+        d = np.full(X.shape[0], self.noise_level)
+        return d, [d.copy()]
+
+    def latent_diag_theta_gradient(self, X):
+        n = X.shape[0]
+        return np.zeros(n), [np.zeros(n)]
 
     def input_gradient(self, x, X):
         return np.zeros((X.shape[0], x.shape[0]))
@@ -393,6 +466,21 @@ class Sum(_Binary):
         K2, g2 = self.k2.value_and_theta_gradient(X, d2)
         return K1 + K2, g1 + g2
 
+    def cross_value_and_theta_gradient(self, X, Y):
+        K1, g1 = self.k1.cross_value_and_theta_gradient(X, Y)
+        K2, g2 = self.k2.cross_value_and_theta_gradient(X, Y)
+        return K1 + K2, g1 + g2
+
+    def diag_theta_gradient(self, X):
+        d1, g1 = self.k1.diag_theta_gradient(X)
+        d2, g2 = self.k2.diag_theta_gradient(X)
+        return d1 + d2, g1 + g2
+
+    def latent_diag_theta_gradient(self, X):
+        d1, g1 = self.k1.latent_diag_theta_gradient(X)
+        d2, g2 = self.k2.latent_diag_theta_gradient(X)
+        return d1 + d2, g1 + g2
+
     def input_gradient(self, x, X):
         return self.k1.input_gradient(x, X) + self.k2.input_gradient(x, X)
 
@@ -417,6 +505,24 @@ class Product(_Binary):
         K2, g2 = self.k2.value_and_theta_gradient(X, d2)
         grads = [g * K2 for g in g1] + [K1 * g for g in g2]
         return K1 * K2, grads
+
+    def cross_value_and_theta_gradient(self, X, Y):
+        K1, g1 = self.k1.cross_value_and_theta_gradient(X, Y)
+        K2, g2 = self.k2.cross_value_and_theta_gradient(X, Y)
+        grads = [g * K2 for g in g1] + [K1 * g for g in g2]
+        return K1 * K2, grads
+
+    def diag_theta_gradient(self, X):
+        d1, g1 = self.k1.diag_theta_gradient(X)
+        d2, g2 = self.k2.diag_theta_gradient(X)
+        grads = [g * d2 for g in g1] + [d1 * g for g in g2]
+        return d1 * d2, grads
+
+    def latent_diag_theta_gradient(self, X):
+        d1, g1 = self.k1.latent_diag_theta_gradient(X)
+        d2, g2 = self.k2.latent_diag_theta_gradient(X)
+        grads = [g * d2 for g in g1] + [d1 * g for g in g2]
+        return d1 * d2, grads
 
     def input_gradient(self, x, X):
         xq = x[None, :]

@@ -45,6 +45,12 @@ EVENT_TYPES: dict[str, str] = {
     "hedge.probs": "GP-Hedge selection distribution before a choice",
     "acq.winner": "the acquisition function whose nominee was chosen",
     "gp.fit": "a GP surrogate (re)fit: size and hyperparameter state",
+    "gp.mode": "the engine switched between exact and low-rank surrogates",
+    "gp.chunk": "a candidate sweep streamed through the surrogate in blocks",
+    "warmstart.load": "prior-journal observations assembled for the "
+                      "surrogate warm start",
+    "transfer.map": "a workload-mapper probe matched (or missed) a prior "
+                    "selection signature",
     "forest.fit": "a tree ensemble finished fitting",
     "guard.threshold": "the kill threshold changed value",
     "guard.kill": "an evaluation was truncated by the kill threshold",

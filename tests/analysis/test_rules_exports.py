@@ -1,0 +1,103 @@
+"""RPE rule pack: dead public exports on repro.core's front door."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from lintutils import active, rules_of
+
+INIT = "src/repro/core/__init__.py"
+
+
+def _write(tmp_path: Path, rel: str, source: str) -> None:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+
+
+class TestDeadCoreExport:
+    def test_flags_export_with_no_call_site(self, lint, tmp_path):
+        _write(tmp_path, "src/repro/core/widget.py", "class Widget:\n    pass\n")
+        findings = lint("""\
+            from .widget import Widget
+
+            __all__ = ["Widget"]
+        """, rel=INIT)
+        hits = rules_of(findings, "RPE001")
+        assert len(hits) == 1
+        assert "Widget" in hits[0].message
+
+    def test_defining_module_does_not_count_as_consumer(self, lint, tmp_path):
+        # The class is named repeatedly inside its own module; that is
+        # not a call site.
+        _write(tmp_path, "src/repro/core/widget.py",
+               "class Widget:\n    pass\n\n\ndef make() -> Widget:\n"
+               "    return Widget()\n")
+        findings = lint("""\
+            from .widget import Widget
+
+            __all__ = ["Widget"]
+        """, rel=INIT)
+        assert len(rules_of(findings, "RPE001")) == 1
+
+    def test_call_site_in_sibling_module_clears(self, lint, tmp_path):
+        _write(tmp_path, "src/repro/core/widget.py", "class Widget:\n    pass\n")
+        _write(tmp_path, "src/repro/other/user.py",
+               "from ..core.widget import Widget\n\nw = Widget()\n")
+        findings = lint("""\
+            from .widget import Widget
+
+            __all__ = ["Widget"]
+        """, rel=INIT)
+        assert rules_of(findings, "RPE001") == []
+
+    def test_call_site_in_benchmarks_clears(self, lint, tmp_path):
+        _write(tmp_path, "src/repro/core/widget.py", "class Widget:\n    pass\n")
+        _write(tmp_path, "benchmarks/test_widget_perf.py",
+               "from repro.core import Widget\n")
+        findings = lint("""\
+            from .widget import Widget
+
+            __all__ = ["Widget"]
+        """, rel=INIT)
+        assert rules_of(findings, "RPE001") == []
+
+    def test_reexporting_init_does_not_count(self, lint, tmp_path):
+        _write(tmp_path, "src/repro/core/widget.py", "class Widget:\n    pass\n")
+        _write(tmp_path, "src/repro/__init__.py",
+               "from .core import Widget\n\n__all__ = [\"Widget\"]\n")
+        findings = lint("""\
+            from .widget import Widget
+
+            __all__ = ["Widget"]
+        """, rel=INIT)
+        assert len(rules_of(findings, "RPE001")) == 1
+
+    def test_suppression_with_justification(self, lint, tmp_path):
+        _write(tmp_path, "src/repro/core/widget.py", "class Widget:\n    pass\n")
+        findings = lint("""\
+            from .widget import Widget
+
+            __all__ = [
+                "Widget",  # repro: noqa RPE001 -- kept for external consumers
+            ]
+        """, rel=INIT)
+        hits = rules_of(findings, "RPE001")
+        assert len(hits) == 1
+        assert hits[0].suppressed
+        assert active(hits) == []
+
+    def test_only_core_init_is_checked(self, lint, tmp_path):
+        findings = lint("""\
+            __all__ = ["nothing_uses_me"]
+        """, rel="src/repro/obs/__init__.py")
+        assert rules_of(findings, "RPE001") == []
+
+    def test_real_core_init_is_clean(self):
+        from repro.analysis.engine import analyze_file
+        from repro.analysis.registry import build_rules
+        root = Path(__file__).resolve().parents[2]
+        init = root / "src" / "repro" / "core" / "__init__.py"
+        findings = analyze_file(init, build_rules(select=["RPE001"]),
+                                display=init.as_posix())
+        assert active(rules_of(findings, "RPE001")) == []

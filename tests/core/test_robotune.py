@@ -206,3 +206,70 @@ class TestAsyncWorkers:
     def test_negative_async_workers_rejected(self):
         with pytest.raises(ValueError):
             ROBOTune(async_workers=-1)
+
+
+class TestWarmStartSession:
+    def test_constructor_fails_fast_on_bad_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            make_tuner(seed=30, warm_start=str(tmp_path / "nope"))
+        with pytest.raises(ValueError, match="no.*journal"):
+            make_tuner(seed=30, warm_start=str(tmp_path))
+
+    def test_prior_journal_folds_into_surrogate(self, tmp_path):
+        prior = tmp_path / "prior"
+        prior.mkdir()
+        cold = make_tuner(seed=31)
+        cold.checkpoint(make_objective(seed=32), budget=30,
+                        journal=prior / "s0.jsonl", rng=33)
+        warm = make_tuner(seed=31, warm_start=str(prior))
+        result = warm.tune(make_objective(seed=32), budget=30, rng=34)
+        assert result.warm_start_n > 0
+        assert len(result.warm_start_sources) == 1
+        assert result.n_evaluations == 30      # priors consume no budget
+
+    def test_cold_by_default(self):
+        result = make_tuner(seed=35).tune(make_objective(seed=36),
+                                          budget=25, rng=37)
+        assert result.warm_start_n == 0
+        assert result.warm_start_sources == ()
+
+
+class TestMappedSession:
+    def _mapper(self, dim=10):
+        from repro.core import WorkloadMapper
+        from repro.tuners import synthetic_space
+        return WorkloadMapper(synthetic_space(dim), n_probes=6,
+                              threshold=0.8)
+
+    def test_match_skips_selection_and_charges_probe_cost(self):
+        mapper = self._mapper()
+        cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+        first = make_tuner(cache, memo, seed=40, mapper=mapper)
+        res_a = first.tune(make_objective(seed=41, name="alpha"),
+                           budget=25, rng=42)
+        assert res_a.mapped_from is None
+        assert res_a.mapping_cost_s > 0        # probed, found nothing
+        assert "alpha" in mapper.known_workloads
+
+        second = make_tuner(cache, memo, seed=43, mapper=mapper)
+        # Same bowl, different name: the probe signature rank-matches.
+        res_b = second.tune(make_objective(seed=41, name="beta"),
+                            budget=25, rng=44)
+        assert res_b.mapped_from == "alpha"
+        assert res_b.selection is None          # selection run skipped
+        assert res_b.selected_parameters == res_a.selected_parameters
+        assert res_b.mapping_cost_s > 0
+        eval_cost = sum(e.cost_s for e in res_b.evaluations)
+        assert res_b.search_cost_s == pytest.approx(
+            eval_cost + res_b.mapping_cost_s)
+
+    def test_cache_hit_skips_probing(self):
+        mapper = self._mapper()
+        cache, memo = ParameterSelectionCache(), ConfigMemoizationBuffer()
+        tuner = make_tuner(cache, memo, seed=45, mapper=mapper)
+        obj = make_objective(seed=46, name="gamma")
+        tuner.tune(obj, budget=25, rng=47)
+        again = make_tuner(cache, memo, seed=48, mapper=mapper)
+        res = again.tune(obj, budget=25, rng=49)
+        assert res.selection_cache_hit
+        assert res.mapping_cost_s == 0.0        # no probe on a cache hit
