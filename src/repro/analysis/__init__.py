@@ -23,24 +23,38 @@ Rule families (see :mod:`repro.analysis.rules`):
   denominators.
 * ``RPA`` — linter hygiene: suppressions must name a rule and carry a
   justification, and must actually match a finding.
+* ``RPX`` — whole-program dataflow (:mod:`repro.analysis.flow`): seed
+  provenance across module boundaries, thread ownership of engine
+  state, tracer names against the typed event catalogs, and file-handle
+  lifecycles that span methods.
+
+Per-module rules see one file at a time and cache per content hash;
+``RPX`` rules run once per invocation over a project symbol table +
+call graph + dataflow summaries and recompute whenever any scanned file
+changes.
 
 Run it as ``python -m repro.analysis [paths] [--select/--ignore]
-[--format json]``; suppress a finding inline with
+[--format json|sarif] [--jobs N] [--cache-dir DIR] [--baseline FILE |
+--write-baseline FILE] [--graph]``; suppress a finding inline with
 ``# repro: noqa RULE-ID -- justification``.
 """
 
 from __future__ import annotations
 
-from .engine import AnalysisReport, analyze_paths, iter_python_files
+from .engine import (AnalysisReport, analyze_paths, build_project_for,
+                     iter_python_files)
 from .findings import Finding
-from .registry import Rule, all_rule_ids, build_rules, register, rule_catalog
+from .registry import (FlowRule, Rule, all_rule_ids, build_rules, register,
+                       rule_catalog)
 
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "FlowRule",
     "Rule",
     "all_rule_ids",
     "analyze_paths",
+    "build_project_for",
     "build_rules",
     "iter_python_files",
     "register",

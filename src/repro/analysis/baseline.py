@@ -1,0 +1,81 @@
+"""Findings baselines: grandfather existing debt, gate only regressions.
+
+A baseline is a snapshot of a run's unsuppressed findings.  Comparing a
+later run against it marks every finding that already existed as
+*baselined* — reported, but not failing the run — so a new rule can land
+with its existing findings grandfathered while any **new** violation
+still gates CI.
+
+Entries are keyed by ``rule|path|message`` (not line numbers, which
+shift on every unrelated edit) and carry a count, so two identical
+violations in one file baseline independently: fixing one and adding
+another does not cancel out.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "finding_key", "load_baseline",
+           "apply_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """The line-number-free identity a baseline entry matches on."""
+    return f"{finding.rule}|{finding.path}|{finding.message}"
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> int:
+    """Snapshot the unsuppressed findings; returns the entry count."""
+    counts = Counter(finding_key(f) for f in findings if not f.suppressed)
+    document = {"version": BASELINE_VERSION,
+                "entries": dict(sorted(counts.items()))}
+    Path(path).write_text(  # repro: noqa RPF002 -- baseline snapshots are operator-requested lint artifacts, not evaluation state; a torn write fails JSON parsing loudly on the next --baseline run
+        json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: str | Path) -> Counter[str]:
+    """Parse a baseline file; raises ``ValueError`` on a bad document."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) \
+            or document.get("version") != BASELINE_VERSION \
+            or not isinstance(document.get("entries"), dict):
+        raise ValueError(f"{path} is not a version-{BASELINE_VERSION} "
+                         "baseline file")
+    counts: Counter[str] = Counter()
+    for key, count in document["entries"].items():
+        if not isinstance(key, str) or not isinstance(count, int) \
+                or count < 1:
+            raise ValueError(f"malformed baseline entry: {key!r}")
+        counts[key] = count
+    return counts
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   counts: Counter[str]) -> list[Finding]:
+    """Mark grandfathered findings, consuming baseline entry counts.
+
+    Findings are matched in report order; suppressed findings never
+    consume an entry (they already do not fail the run).
+    """
+    remaining = Counter(counts)
+    out: list[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if not finding.suppressed and remaining[key] > 0:
+            remaining[key] -= 1
+            out.append(finding.as_baselined())
+        else:
+            out.append(finding)
+    return out

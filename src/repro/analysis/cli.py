@@ -1,6 +1,7 @@
 """Command-line entry point: ``python -m repro.analysis``.
 
-Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error.
+Exit codes: 0 clean, 1 active (unsuppressed, unbaselined) findings,
+2 usage error.
 """
 
 from __future__ import annotations
@@ -9,9 +10,9 @@ import argparse
 import sys
 from typing import Sequence
 
-from .engine import analyze_paths
+from .engine import analyze_paths, build_project_for
 from .registry import rule_catalog
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 
 def _split_ids(values: list[str]) -> list[str]:
@@ -25,8 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=("AST-based invariant linter: determinism, parallel "
-                     "safety, fault discipline, numerical hygiene "
-                     "(docs/ANALYSIS.md)"))
+                     "safety, fault discipline, numerical hygiene, and "
+                     "whole-program dataflow rules (docs/ANALYSIS.md)"))
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)")
@@ -37,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore", action="append", default=[], metavar="IDS",
         help="comma-separated rule ids to skip")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)")
     parser.add_argument(
         "--show-suppressed", action="store_true",
@@ -45,6 +46,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=("thread-pool width for the per-module phase (default: the "
+              "ROBOTUNE_JOBS environment variable; unset means serial)"))
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=("content-hash result cache directory; unchanged files skip "
+              "per-module rules, an unchanged tree skips the whole-program "
+              "phase"))
+    parser.add_argument(
+        "--graph", action="store_true",
+        help=("print the project symbol table / call graph the "
+              "whole-program rules run on, instead of linting"))
+    snapshot = parser.add_mutually_exclusive_group()
+    snapshot.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=("compare against a findings snapshot: findings present in "
+              "it are reported but do not fail the run"))
+    snapshot.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write a findings snapshot for later --baseline runs and exit")
     return parser
 
 
@@ -58,13 +80,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     select = _split_ids(args.select) or None
     ignore = _split_ids(args.ignore) or None
+    if args.graph:
+        try:
+            project = build_project_for(args.paths)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(project.render())
+        return 0
     try:
-        report = analyze_paths(args.paths, select=select, ignore=ignore)
+        report = analyze_paths(args.paths, select=select, ignore=ignore,
+                               n_jobs=args.jobs, cache_dir=args.cache_dir,
+                               baseline=args.baseline)
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.write_baseline is not None:
+        from .baseline import write_baseline
+        count = write_baseline(report.findings, args.write_baseline)
+        print(f"baseline written: {count} finding"
+              f"{'s' if count != 1 else ''} -> {args.write_baseline}")
+        return 0
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, show_suppressed=args.show_suppressed))
     return report.exit_code

@@ -47,7 +47,13 @@ class ModuleContext:
     @classmethod
     def parse(cls, path: Path, display: str | None = None) -> "ModuleContext":
         """Parse *path*; raises ``SyntaxError`` on unparsable source."""
-        source = path.read_text(encoding="utf-8")
+        return cls.from_source(path, path.read_text(encoding="utf-8"),
+                               display=display)
+
+    @classmethod
+    def from_source(cls, path: Path, source: str,
+                    display: str | None = None) -> "ModuleContext":
+        """Parse already-read *source* (the engine reads each file once)."""
         shown = display if display is not None else str(path)
         tree = ast.parse(source, filename=shown)
         suppressions, problems = scan_suppressions(source)

@@ -1,0 +1,54 @@
+"""Whole-program analysis substrate for the interprocedural rule family.
+
+The per-module engine (:mod:`repro.analysis.engine`) hands each rule one
+file; this package builds the cross-module view the ``RPX`` rules need:
+
+* :mod:`~repro.analysis.flow.graph` — project symbol table + call graph
+  over every scanned file;
+* :mod:`~repro.analysis.flow.summaries` — per-function summaries of
+  reads/writes/submissions with respect to tracked entities (RNGs,
+  worker pools, tracers, file handles, ``self`` state);
+* :mod:`~repro.analysis.flow.dataflow` — a lightweight forward
+  taint/escape pass composed over those summaries.
+
+:class:`FlowProject` bundles all three behind one lazily-computed object
+that the engine builds once per run and hands to every rule with
+``requires_flow = True``.  Per-module rules never pay for any of this.
+"""
+
+from __future__ import annotations
+
+from ..context import ModuleContext
+from .dataflow import propagate_escapes
+from .graph import (FunctionInfo, ModuleInfo, ProjectGraph, build_project,
+                    module_name_for, render_graph)
+from .summaries import FunctionSummary, summarize_project
+
+__all__ = ["FlowProject", "FunctionInfo", "FunctionSummary", "ModuleInfo",
+           "ProjectGraph", "build_flow_project", "build_project",
+           "module_name_for", "render_graph"]
+
+
+class FlowProject:
+    """The whole-program context handed to ``requires_flow`` rules."""
+
+    def __init__(self, graph: ProjectGraph,
+                 summaries: dict[str, FunctionSummary]):
+        self.graph = graph
+        self.summaries = summaries
+
+    @property
+    def modules(self) -> dict[str, ModuleInfo]:
+        return self.graph.modules
+
+    def render(self) -> str:
+        """The ``--graph`` debug dump."""
+        return render_graph(self.graph, self.summaries)
+
+
+def build_flow_project(ctxs: list[ModuleContext]) -> FlowProject:
+    """Graph + summaries + escape fixed point over parsed modules."""
+    graph = build_project(ctxs)
+    summaries = summarize_project(graph)
+    propagate_escapes(summaries)
+    return FlowProject(graph, summaries)

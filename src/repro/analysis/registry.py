@@ -11,11 +11,14 @@ complete after ``import repro.analysis``.
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator
 
 from .context import ModuleContext
 from .findings import Finding
 from .suppressions import RULE_ID_RE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flow import FlowProject
 
 
 class Rule:
@@ -29,6 +32,12 @@ class Rule:
     id: ClassVar[str]
     title: ClassVar[str]
     rationale: ClassVar[str]
+
+    #: Whole-program rules set this True (see :class:`FlowRule`); the
+    #: engine then runs them once per run over the project graph instead
+    #: of once per module, and excludes them from the per-module result
+    #: cache (their findings depend on every file, not one).
+    requires_flow: ClassVar[bool] = False
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         """Yield a :class:`Finding` for every violation in *ctx*."""
@@ -44,6 +53,27 @@ class Rule:
             col = getattr(node, "col_offset", 0) + 1
         return Finding(rule=self.id, path=ctx.display, line=line, col=col,
                        message=message)
+
+
+class FlowRule(Rule):
+    """Base class for whole-program (interprocedural) rules.
+
+    Subclasses implement :meth:`check_project` over a
+    :class:`repro.analysis.flow.FlowProject`; the inherited per-module
+    :meth:`check` is a no-op so flow rules are inert wherever only
+    single-file analysis runs (``analyze_file``, the per-rule fixture
+    helper), and existing per-module rules pay zero cost for the flow
+    layer's existence.
+    """
+
+    requires_flow: ClassVar[bool] = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "FlowProject") -> Iterator[Finding]:
+        """Yield findings over the whole :class:`FlowProject`."""
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, type[Rule]] = {}

@@ -3,12 +3,15 @@
 Families: ``RPD`` determinism, ``RPP`` parallel safety, ``RPF``
 fault/journal discipline, ``RPN`` numerical hygiene, ``RPE`` public API
 surface hygiene, ``RPA`` linter hygiene (suppression discipline, owned
-by the engine and :mod:`repro.analysis.rules.meta`).
+by the engine and :mod:`repro.analysis.rules.meta`), and ``RPX``
+whole-program dataflow rules (seed provenance, thread ownership, event
+contracts, resource lifecycle) over :mod:`repro.analysis.flow`.
 """
 
 from __future__ import annotations
 
-from . import determinism, exports, faults, meta, numerics, parallel
+from . import (determinism, exports, faults, interproc, meta, numerics,
+               parallel)
 
-__all__ = ["determinism", "exports", "faults", "meta", "numerics",
-           "parallel"]
+__all__ = ["determinism", "exports", "faults", "interproc", "meta",
+           "numerics", "parallel"]

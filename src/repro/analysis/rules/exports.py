@@ -13,11 +13,14 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from ..context import ModuleContext
+from ..context import ModuleContext, repro_subpath
 from ..findings import Finding
-from ..registry import Rule, register
+from ..registry import FlowRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..flow import FlowProject
 
 #: Directories (relative to the repo root) whose modules count as call
 #: sites.  Tests deliberately do not: a test-only export has no consumer.
@@ -51,8 +54,16 @@ def _origin_modules(tree: ast.Module) -> dict[str, str]:
 
 
 @register
-class DeadCoreExport(Rule):
-    """RPE001: every ``repro.core`` export has a non-test call site."""
+class DeadCoreExport(FlowRule):
+    """RPE001: every ``repro.core`` export has a non-test call site.
+
+    A whole-program rule since its verdict depends on *every* scanned
+    module, not just ``core/__init__.py`` — which is also why it must
+    never enter the per-module result cache.  In project mode caller
+    sources come from the already-parsed graph; the single-file path
+    (``analyze_file``) keeps the original disk scan as a fallback so the
+    rule still works without a project.
+    """
 
     id = "RPE001"
     title = "public export without a call site"
@@ -60,16 +71,43 @@ class DeadCoreExport(Rule):
         "A name exported from repro.core that nothing in src/repro or "
         "benchmarks/ references is untested API surface growing by "
         "accretion: remove it, or suppress with a justification naming "
-        "the external consumer it exists for.")
+        "the external consumer it serves.")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.is_module("core/__init__.py"):
             return
+        yield from self._check_init(ctx, self._caller_sources(ctx.path))
+
+    def check_project(self, project: "FlowProject") -> Iterator[Finding]:
+        init: ModuleContext | None = None
+        callers: list[tuple[str, str]] = []
+        bench_scanned = False
+        for mod in project.modules.values():
+            ctx = mod.ctx
+            if ctx.is_module("core/__init__.py"):
+                init = ctx
+            sub = ctx.repro_subpath
+            display = ctx.display.replace("\\", "/")
+            if sub is not None:
+                if not display.endswith("/__init__.py"):
+                    callers.append((sub, ctx.source))
+            elif "benchmarks/" in display or display.startswith("benchmarks"):
+                bench_scanned = True
+                callers.append((display, ctx.source))
+        if init is None:
+            return
+        if not bench_scanned:
+            # Benchmarks outside the scan still count as consumers, so a
+            # src-only run reports the same surface as a full run.
+            callers.extend(self._bench_sources(init.path))
+        yield from self._check_init(init, callers)
+
+    def _check_init(self, ctx: ModuleContext,
+                    callers: list[tuple[str, str]]) -> Iterator[Finding]:
         entries = _all_entries(ctx.tree)
         if not entries:
             return
         origins = _origin_modules(ctx.tree)
-        callers = self._caller_sources(ctx.path)
         for name, line in entries:
             origin = origins.get(name)
             # The defining module and re-exporting __init__ files do not
@@ -88,7 +126,6 @@ class DeadCoreExport(Rule):
     def _caller_sources(init_path: Path) -> list[tuple[str, str]]:
         """``(repro-relative-or-bench path, source)`` for candidate callers."""
         pkg_root = init_path.resolve().parent.parent       # src/repro
-        repo_root = pkg_root.parent.parent                 # repo
         out: list[tuple[str, str]] = []
         for py in sorted(pkg_root.rglob("*.py")):
             if py.name == "__init__.py":
@@ -98,7 +135,14 @@ class DeadCoreExport(Rule):
                             py.read_text(encoding="utf-8")))
             except (OSError, UnicodeDecodeError):
                 continue
+        out.extend(DeadCoreExport._bench_sources(init_path))
+        return out
+
+    @staticmethod
+    def _bench_sources(init_path: Path) -> list[tuple[str, str]]:
+        repo_root = init_path.resolve().parent.parent.parent.parent
         bench = repo_root / "benchmarks"
+        out: list[tuple[str, str]] = []
         if bench.is_dir():
             for py in sorted(bench.rglob("*.py")):
                 try:

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
-__all__ = ["TRACE_SCHEMA_VERSION", "KINDS", "EVENT_TYPES",
-           "evaluation_data", "validate_record", "validate_trace"]
+__all__ = ["TRACE_SCHEMA_VERSION", "KINDS", "EVENT_TYPES", "COUNTERS",
+           "TIMERS", "SPANS", "evaluation_data", "validate_record",
+           "validate_trace"]
 
 #: Bump on any backwards-incompatible change to the record envelopes.
 TRACE_SCHEMA_VERSION = 1
@@ -74,6 +75,50 @@ EVENT_TYPES: dict[str, str] = {
                               "abandoned (charged as censored-at-cap)",
     "supervise.quarantine": "a config reached the strike cap and was "
                             "quarantined from re-proposal",
+}
+
+#: The counter catalog: every name passed to ``tracer.count`` anywhere in
+#: the library must appear here (analysis rule RPX003 enforces it
+#: statically), so the metrics record's key space is typed the same way
+#: the event stream is.
+COUNTERS: dict[str, str] = {
+    "evals": "configurations evaluated (all tuners)",
+    "retries": "transient outcomes re-executed by the retry policy",
+    "faults.injected": "faults fired by the seeded fault plan",
+    "gp.predict": "GP posterior predictions served",
+    "gp.predict.points": "candidate points pushed through GP predictions",
+    "gp.mode.switch": "exact <-> low-rank surrogate switches",
+    "gp.chunk.blocks": "blocks streamed through chunked acquisition sweeps",
+    "async.idle_worker_slots": "free worker slots observed at async "
+                               "dispatch points",
+    "batch.serial_fallback": "concurrent evaluations degraded to serial",
+    "supervise.quarantine": "configs quarantined at the strike cap",
+    "supervise.deadline_hit": "evaluations abandoned at their deadline",
+    "supervise.speculate": "speculative straggler twins launched",
+    "supervise.speculate_wins": "races won by the speculative twin",
+    "supervise.reclaim": "dead-worker tasks reclaimed and redispatched",
+    "pool.abandoned_tasks": "pool tasks abandoned (deadline or shutdown)",
+    "pool.workers_replaced": "pool workers replaced after a death",
+}
+
+#: The timer catalog: every name passed to ``tracer.timer`` (RPX003).
+TIMERS: dict[str, str] = {
+    "gp.fit": "GP surrogate (re)fits",
+    "forest.fit": "tree-ensemble fits",
+    "importance": "permutation-importance sweeps",
+    "parallel.map": "parallel_map batch dispatches",
+    "pool.task": "WorkerPool task bodies",
+    "async.propose": "async replacement-proposal draws",
+    "async.wait": "async waits on the next completion",
+}
+
+#: The span catalog: every name passed to ``tracer.span`` (RPX003).
+SPANS: dict[str, str] = {
+    "tune": "one whole tuning session",
+    "selection": "the parameter-selection phase",
+    "transfer.probe": "a workload-mapper probe",
+    "initial_design": "the initial (LHS) design evaluations",
+    "bo": "the Bayesian-optimization loop",
 }
 
 

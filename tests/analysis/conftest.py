@@ -12,7 +12,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.engine import analyze_file
+from repro.analysis.engine import analyze_file, analyze_paths
 from repro.analysis.registry import build_rules
 
 #: Default fixture location: a decision-path module inside src/repro.
@@ -28,4 +28,22 @@ def lint(tmp_path: Path):
         path.write_text(textwrap.dedent(source), encoding="utf-8")
         rules = build_rules(select=select, ignore=ignore)
         return analyze_file(path, rules, display=path.as_posix())
+    return _lint
+
+
+@pytest.fixture()
+def lint_tree(tmp_path: Path):
+    """Write a multi-file tree and run the full two-phase engine on it.
+
+    Takes ``{repo-relative path: source}``; returns the
+    :class:`~repro.analysis.engine.AnalysisReport` (whole-program rules
+    included — this is the project-mode counterpart of ``lint``).
+    """
+    def _lint(files: dict[str, str], select=None, ignore=None, **kwargs):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return analyze_paths([tmp_path], select=select, ignore=ignore,
+                             **kwargs)
     return _lint

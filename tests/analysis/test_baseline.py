@@ -1,0 +1,111 @@
+"""Baseline snapshots: grandfather existing findings, gate new ones."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (apply_baseline, finding_key,
+                                     load_baseline, write_baseline)
+from repro.analysis.cli import main
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import Finding
+
+_VIOLATION = """\
+    import numpy as np
+
+
+    def sample(n):
+        np.random.seed(0)
+        return np.random.rand(n)
+"""
+
+
+def _write(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestRoundTrip:
+    def test_write_then_compare_turns_the_run_green(self, tmp_path):
+        _write(tmp_path, "tree/src/repro/core/a.py", _VIOLATION)
+        snapshot = tmp_path / "baseline.json"
+        before = analyze_paths([tmp_path / "tree"])
+        assert before.exit_code == 1
+        count = write_baseline(before.findings, snapshot)
+        assert count == len(before.unsuppressed)
+        after = analyze_paths([tmp_path / "tree"], baseline=snapshot)
+        assert after.exit_code == 0
+        assert len(after.baselined) == count
+        # Findings are still reported, just not failing.
+        assert len(after.findings) == len(before.findings)
+
+    def test_new_violation_still_fails(self, tmp_path):
+        _write(tmp_path, "tree/src/repro/core/a.py", _VIOLATION)
+        snapshot = tmp_path / "baseline.json"
+        write_baseline(analyze_paths([tmp_path / "tree"]).findings, snapshot)
+        _write(tmp_path, "tree/src/repro/core/b.py", _VIOLATION)
+        report = analyze_paths([tmp_path / "tree"], baseline=snapshot)
+        assert report.exit_code == 1
+        assert all("b.py" in f.path for f in report.active)
+
+    def test_counts_match_per_occurrence(self):
+        finding = Finding(rule="RPD001", path="src/repro/core/a.py",
+                          line=3, col=1, message="np.random.seed call")
+        twin = Finding(rule="RPD001", path="src/repro/core/a.py",
+                       line=9, col=1, message="np.random.seed call")
+        counts = Counter({finding_key(finding): 1})
+        marked = apply_baseline([finding, twin], counts)
+        assert [f.baselined for f in marked] == [True, False]
+
+    def test_suppressed_findings_do_not_consume_entries(self):
+        finding = Finding(rule="RPD001", path="p.py", line=3, col=1,
+                          message="m")
+        suppressed = finding.suppress("justified")
+        counts = Counter({finding_key(finding): 1})
+        marked = apply_baseline([suppressed, finding], counts)
+        assert not marked[0].baselined
+        assert marked[1].baselined
+
+    def test_malformed_baseline_is_a_value_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "entries": {}}),
+                       encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestCLIFlags:
+    def test_write_then_compare_via_cli(self, tmp_path, capsys):
+        _write(tmp_path, "tree/src/repro/core/a.py", _VIOLATION)
+        snapshot = tmp_path / "baseline.json"
+        tree = str(tmp_path / "tree")
+        assert main([tree, "--write-baseline", str(snapshot)]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert main([tree, "--baseline", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "(baselined)" in out
+        assert main([tree]) == 1
+        capsys.readouterr()
+
+    def test_baseline_and_write_baseline_are_mutually_exclusive(
+            self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path), "--baseline", "x.json",
+                  "--write-baseline", "y.json"])
+        capsys.readouterr()
+
+    def test_missing_baseline_file_is_usage_error(self, tmp_path, capsys):
+        _write(tmp_path, "tree/src/repro/core/a.py", _VIOLATION)
+        assert main([str(tmp_path / "tree"),
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err

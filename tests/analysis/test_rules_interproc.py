@@ -1,0 +1,351 @@
+"""RPX rule pack: whole-program seed-provenance, thread-ownership,
+event-contract and resource-lifecycle rules, plus the CI gate demo."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from lintutils import active, rules_of
+
+#: Minimal typed catalogs: RPX003 resolves names against this module.
+_EVENTS = """\
+    EVENT_TYPES: dict[str, str] = {
+        "eval.result": "one configuration finished evaluating",
+    }
+
+    COUNTERS = {"evals": "configurations evaluated"}
+
+    TIMERS = {"gp.fit": "surrogate fits"}
+
+    SPANS = {"tune": "one tuning session", "bo": "the BO loop"}
+"""
+
+
+class TestSeedProvenance:
+    def test_fresh_rng_captured_at_submit_site(self, lint_tree):
+        report = lint_tree({"src/repro/core/a.py": """\
+            import numpy as np
+
+
+            def run(pool):
+                rng = np.random.default_rng(0)
+                pool.submit(lambda r=rng: r.random())
+        """}, select=["RPX001"])
+        hits = rules_of(report.findings, "RPX001")
+        assert len(hits) == 1
+        assert "rng" in hits[0].message
+
+    def test_cross_module_rng_flow_is_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/exp/dispatch.py": """\
+                def run_batch(pool, rng):
+                    pool.submit(lambda r=rng: r.random())
+            """,
+            "src/repro/core/driver.py": """\
+                import numpy as np
+
+                from ..exp.dispatch import run_batch
+
+
+                def drive(pool):
+                    rng = np.random.default_rng(0)
+                    run_batch(pool, rng)
+            """}, select=["RPX001"])
+        hits = rules_of(report.findings, "RPX001")
+        # The finding anchors at the crossing call in the *birth* module
+        # (dispatch.py only sees a parameter, never a fresh stream).
+        assert len(hits) == 1
+        assert "driver.py" in hits[0].path
+        assert "run_batch" in hits[0].message
+
+    def test_spawned_children_are_clean(self, lint_tree):
+        report = lint_tree({"src/repro/core/a.py": """\
+            import numpy as np
+
+            from ..utils.rng import spawn
+
+
+            def run(pool, seed):
+                rng = np.random.default_rng(seed)
+                children = spawn(rng, 4)
+                for child in children:
+                    pool.submit(lambda r=child: r.random())
+        """}, select=["RPX001"])
+        assert rules_of(report.findings, "RPX001") == []
+
+    def test_suppression_with_justification(self, lint_tree):
+        report = lint_tree({"src/repro/core/a.py": """\
+            import numpy as np
+
+
+            def run(pool):
+                rng = np.random.default_rng(0)
+                pool.submit(lambda r=rng: r.random())  # repro: noqa RPX001 -- fixture: single worker, no interleaving possible
+        """}, select=["RPX001"])
+        hits = rules_of(report.findings, "RPX001")
+        assert len(hits) == 1 and hits[0].suppressed
+        assert report.exit_code == 0
+
+
+class TestThreadOwnership:
+    def test_worker_reachable_mutation_is_flagged(self, lint_tree):
+        report = lint_tree({"src/repro/core/eng.py": """\
+            class BOEngine:
+                def __init__(self, pool):
+                    self.pool = pool
+                    self.observations = []
+
+                def _record(self, value):
+                    self.observations.append(value)
+
+                def dispatch(self, value):
+                    self.pool.submit(lambda v=value: self._record(v))
+        """}, select=["RPX002"])
+        hits = rules_of(report.findings, "RPX002")
+        assert len(hits) == 1
+        assert "BOEngine.observations" in hits[0].message
+        assert "_record" in hits[0].message
+
+    def test_mutation_reached_through_intermediate_call(self, lint_tree):
+        report = lint_tree({"src/repro/core/eng.py": """\
+            class EvaluationSupervisor:
+                def __init__(self, pool):
+                    self.pool = pool
+                    self.inflight = {}
+
+                def _note(self, key):
+                    self.inflight[key] = True
+
+                def _task(self, key):
+                    self._note(key)
+
+                def dispatch(self, key):
+                    self.pool.submit(lambda k=key: self._task(k))
+        """}, select=["RPX002"])
+        hits = rules_of(report.findings, "RPX002")
+        assert len(hits) == 1
+        assert "_task" in hits[0].message
+
+    def test_fold_on_collecting_side_is_clean(self, lint_tree):
+        report = lint_tree({"src/repro/core/eng.py": """\
+            class BOEngine:
+                def __init__(self, pool):
+                    self.pool = pool
+                    self.observations = []
+
+                def _fold_in(self, value):
+                    self.observations.append(value)
+
+                def dispatch(self, runner, value):
+                    future = self.pool.submit(lambda v=value: runner(v))
+                    self._fold_in(future.result())
+        """}, select=["RPX002"])
+        assert rules_of(report.findings, "RPX002") == []
+
+    def test_non_owner_classes_are_out_of_scope(self, lint_tree):
+        report = lint_tree({"src/repro/core/eng.py": """\
+            class ScratchBuffer:
+                def __init__(self, pool):
+                    self.pool = pool
+                    self.items = []
+
+                def _push(self, value):
+                    self.items.append(value)
+
+                def dispatch(self, value):
+                    self.pool.submit(lambda v=value: self._push(v))
+        """}, select=["RPX002"])
+        assert rules_of(report.findings, "RPX002") == []
+
+
+class TestEventContract:
+    def test_off_catalog_names_are_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/obs/events.py": _EVENTS,
+            "src/repro/core/a.py": """\
+                def run(tracer):
+                    tracer.count("no.such.counter", 1)
+                    tracer.emit("no.such.event", {})
+                    with tracer.timer("no.such.timer"):
+                        pass
+            """}, select=["RPX003"])
+        hits = active(rules_of(report.findings, "RPX003"))
+        assert len(hits) == 3
+        assert any("COUNTERS" in h.message for h in hits)
+        assert any("EVENT_TYPES" in h.message for h in hits)
+        assert any("TIMERS" in h.message for h in hits)
+
+    def test_catalog_names_are_clean(self, lint_tree):
+        report = lint_tree({
+            "src/repro/obs/events.py": _EVENTS,
+            "src/repro/core/a.py": """\
+                def run(tracer):
+                    tracer.count("evals", 1)
+                    tracer.emit("eval.result", {})
+                    with tracer.span("tune"):
+                        with tracer.timer("gp.fit"):
+                            pass
+            """}, select=["RPX003"])
+        assert rules_of(report.findings, "RPX003") == []
+
+    def test_dangling_span_is_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/obs/events.py": _EVENTS,
+            "src/repro/core/a.py": """\
+                def run(tracer):
+                    tracer.span("bo")
+            """}, select=["RPX003"])
+        hits = rules_of(report.findings, "RPX003")
+        assert len(hits) == 1
+        assert "with" in hits[0].message
+
+    def test_non_literal_name_is_flagged(self, lint_tree):
+        report = lint_tree({
+            "src/repro/obs/events.py": _EVENTS,
+            "src/repro/core/a.py": """\
+                def run(tracer, name):
+                    tracer.count(name, 1)
+            """}, select=["RPX003"])
+        hits = rules_of(report.findings, "RPX003")
+        assert len(hits) == 1
+        assert "literal" in hits[0].message
+
+    def test_rule_is_inert_without_the_catalog_module(self, lint_tree):
+        report = lint_tree({"src/repro/core/a.py": """\
+            def run(tracer):
+                tracer.count("no.such.counter", 1)
+        """}, select=["RPX003"])
+        assert rules_of(report.findings, "RPX003") == []
+
+    def test_obs_package_itself_is_out_of_scope(self, lint_tree):
+        report = lint_tree({
+            "src/repro/obs/events.py": _EVENTS,
+            "src/repro/obs/tracer_impl.py": """\
+                def relay(tracer, name):
+                    tracer.count(name, 1)
+            """}, select=["RPX003"])
+        assert rules_of(report.findings, "RPX003") == []
+
+
+class TestResourceLifecycle:
+    def test_handle_without_close_or_fsync_is_flagged(self, lint_tree):
+        report = lint_tree({"src/repro/core/sink.py": """\
+            class Sink:
+                def start(self, path):
+                    self._fh = open(path, "a")
+
+                def write(self, line):
+                    self._fh.write(line)
+        """}, select=["RPX004"])
+        hits = rules_of(report.findings, "RPX004")
+        assert len(hits) == 1
+        assert "close" in hits[0].message and "fsync" in hits[0].message
+
+    def test_close_and_fsync_in_other_methods_clears(self, lint_tree):
+        report = lint_tree({"src/repro/core/sink.py": """\
+            import os
+
+
+            class Sink:
+                def start(self, path):
+                    self._fh = open(path, "a")
+
+                def flush(self):
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+
+                def close(self):
+                    self._fh.close()
+        """}, select=["RPX004"])
+        assert rules_of(report.findings, "RPX004") == []
+
+    def test_local_handle_closed_and_fsynced_clears(self, lint_tree):
+        report = lint_tree({"src/repro/core/sink.py": """\
+            import os
+
+
+            def dump(path, lines):
+                fh = open(path, "w")
+                fh.writelines(lines)
+                fh.flush()
+                os.fsync(fh.fileno())
+                fh.close()
+        """}, select=["RPX004"])
+        assert rules_of(report.findings, "RPX004") == []
+
+    def test_with_block_is_exempt(self, lint_tree):
+        report = lint_tree({"src/repro/core/sink.py": """\
+            def dump(path):
+                with open(path, "w") as fh:
+                    fh.write("x")
+        """}, select=["RPX004"])
+        assert rules_of(report.findings, "RPX004") == []
+
+    def test_outside_src_repro_is_out_of_scope(self, lint_tree):
+        report = lint_tree({"benchmarks/helper.py": """\
+            def dump(path):
+                fh = open(path, "w")
+                fh.write("x")
+        """}, select=["RPX004"])
+        assert rules_of(report.findings, "RPX004") == []
+
+
+class TestFlowRulesPerModuleContract:
+    def test_flow_rules_are_inert_in_single_file_mode(self, lint):
+        # analyze_file runs every rule's per-module ``check``; for flow
+        # rules that is a documented no-op, so single-file consumers
+        # (editor integrations, the ``lint`` fixture) never half-run an
+        # interprocedural analysis.
+        findings = lint("""\
+            import numpy as np
+
+
+            def run(pool):
+                rng = np.random.default_rng(0)
+                pool.submit(lambda r=rng: r.random())
+        """, select=["RPX001", "RPX002", "RPX003", "RPX004"])
+        assert findings == []
+
+
+class TestCIGateDemo:
+    def test_seeded_cross_module_seed_leak_fails_the_gate(self, tmp_path):
+        """Acceptance demo: the exact CI invocation trips on a seeded
+        cross-module RNG leak that no per-module rule can see."""
+        files = {
+            "src/repro/exp/dispatch.py": """\
+                def run_batch(pool, rng):
+                    pool.submit(lambda r=rng: r.random())
+            """,
+            "src/repro/core/driver.py": """\
+                import numpy as np
+
+                from ..exp.dispatch import run_batch
+
+
+                def drive(pool):
+                    rng = np.random.default_rng(0)
+                    run_batch(pool, rng)
+            """,
+        }
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = (os.path.abspath(repo_src) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis",
+             str(tmp_path / "src"), "--format", "json"],
+            env=env, capture_output=True, text=True)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout)
+        leaked = [f for f in doc["findings"]
+                  if f["rule"] == "RPX001" and not f["suppressed"]]
+        assert leaked, doc["findings"]
+        assert any("driver.py" in f["path"] for f in leaked)

@@ -23,6 +23,12 @@ def test_at_least_ten_rules_registered():
     assert len(all_rule_ids()) >= 10
 
 
+def test_whole_program_rule_family_registered():
+    ids = set(all_rule_ids())
+    assert {"RPX001", "RPX002", "RPX003", "RPX004"} <= ids
+    assert len(ids) >= 21
+
+
 def test_src_is_clean_in_process():
     report = analyze_paths([REPO_ROOT / "src"])
     assert report.exit_code == 0, [f.location() + " " + f.message
@@ -34,6 +40,24 @@ def test_benchmarks_are_clean_in_process():
     report = analyze_paths([REPO_ROOT / "benchmarks"])
     assert report.exit_code == 0, [f.location() + " " + f.message
                                    for f in report.unsuppressed]
+
+
+def test_every_suppression_carries_a_written_justification():
+    report = analyze_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    for finding in report.suppressed:
+        assert finding.justification, finding.location()
+        assert len(finding.justification.split()) >= 3, finding.location()
+
+
+def test_cached_parallel_rerun_matches_serial_run(tmp_path):
+    serial = analyze_paths([REPO_ROOT / "src"])
+    cache = tmp_path / "cache"
+    analyze_paths([REPO_ROOT / "src"], cache_dir=cache, n_jobs=2)
+    warm = analyze_paths([REPO_ROOT / "src"], cache_dir=cache, n_jobs=2)
+    assert warm.cache_misses == 0
+    key = lambda r: [(f.rule, f.path, f.line, f.suppressed)  # noqa: E731
+                     for f in r.findings]
+    assert key(warm) == key(serial)
 
 
 def test_cli_self_host_src():
@@ -48,3 +72,13 @@ def test_cli_self_host_src_and_benchmarks():
         [sys.executable, "-m", "repro.analysis", "src", "benchmarks"],
         cwd=REPO_ROOT, env=_env(), capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_graph_dump_renders_the_project():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--graph", "src"],
+        cwd=REPO_ROOT, env=_env(), capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "project graph:" in proc.stdout
+    assert "module repro.core.bo" in proc.stdout
+    assert "->" in proc.stdout
