@@ -140,6 +140,48 @@ def test_chaos_supervised_robotune_quarantines_poison(capsys):
               f"best {result.best_time_s:.0f}s")
 
 
+def test_chaos_under_daemon_survives_daemon_death(capsys, tmp_path):
+    """Service-level chaos in bounded time: a supervised session with a
+    faulty objective runs under a real ``repro serve`` daemon, the daemon
+    is SIGKILLed mid-session (every in-flight evaluation worker dies with
+    it), and a restarted daemon must adopt the orphan and settle it DONE
+    with the full budget.  ``--recover censor`` writes the in-flight
+    evaluations off instead of re-executing them, so the whole scenario
+    stays inside the CI step's hard 600s cap."""
+    from repro.serve import SessionSpec
+    from tests.serve.harness import DaemonHarness, export_artifacts
+
+    spec = SessionSpec(workload="pagerank", budget=16, seed=SEED,
+                       init_samples=4, selection_samples=10,
+                       selection_repeats=2,
+                       fault_rate=FAULT_RATE, retries=2,
+                       async_workers=3, eval_timeout_s=5.0,
+                       speculate=True, quarantine_after=2)
+    store_root = tmp_path / "store"
+
+    first = DaemonHarness(store_root, workers=1).start()
+    sid = first.client().submit(spec)
+    first.kill_when_journal_reaches(sid, 6)
+    assert first.store.state(sid) == "RUNNING"  # orphaned mid-chaos
+
+    with DaemonHarness(store_root, workers=1, drain=True,
+                       extra_args=("--recover", "censor")) as second:
+        assert second.wait(timeout_s=540) == 0
+        export_artifacts(second.store)
+
+    view = first.store.view(sid)
+    assert view["state"] == "DONE", view.get("error")
+    result = view["result"]
+    assert result["n_evaluations"] == spec.budget  # full budget, post-crash
+    assert result["best_objective"] is not None
+    assert np.isfinite(result["best_objective"])
+    with capsys.disabled():
+        print(f"\nchaos daemon (rate {FAULT_RATE}, supervised k=3, "
+              f"SIGKILL + censor-recover): {result['n_evaluations']} evals, "
+              f"best {result['best_objective']:.0f}s, "
+              f"{len(result['quarantined_configs'])} quarantined")
+
+
 def test_robustness_sweep_report(emit):
     table = run_robustness_experiment(budget=25, trials=min(TRIALS, 2),
                                       fault_rates=(0.0, 0.05, 0.1, 0.2),

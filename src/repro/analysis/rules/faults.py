@@ -16,10 +16,13 @@ from ..findings import Finding
 from ..registry import Rule, register
 
 #: Modules that own durable file output.  The journal is the only writer
-#: of evaluation state and the trace sink is the only writer of trace
-#: records (it reuses the journal's fsync discipline); everything else
-#: must either go through them or carry an explicit justification.
-_OWNED_IO_MODULES = ("core/journal.py", "obs/sinks.py")
+#: of evaluation state, the trace sink is the only writer of trace
+#: records (it reuses the journal's fsync discipline), and the session
+#: store is the only writer of service lifecycle state (spec/state/
+#: result/lock files, all via its atomic durable-write helper);
+#: everything else must either go through them or carry an explicit
+#: justification.
+_OWNED_IO_MODULES = ("core/journal.py", "obs/sinks.py", "serve/store.py")
 
 
 def _is_swallow_body(body: list[ast.stmt]) -> bool:

@@ -322,8 +322,13 @@ class ComparisonStudy:
         if self.trace_dir:
             directory = Path(self.trace_dir)
             directory.mkdir(parents=True, exist_ok=True)
+            # The session seed is part of the filename: it folds in the
+            # study's base_seed, so two studies sharing one trace_dir
+            # (different base seeds, same grid) never collide on the
+            # (tuner, workload, dataset, trial) coordinates alone —
+            # JsonlTraceWriter refuses to append to an existing trace.
             trace_path = str(directory / f"{tuner_name}-{workload}-{dataset}"
-                                         f"-trial{trial}.jsonl")
+                                         f"-trial{trial}-s{seed:08x}.jsonl")
             tracer = Tracer(JsonlTraceWriter(trace_path),
                             meta={"tuner": tuner_name, "workload": workload,
                                   "dataset": dataset, "trial": trial,

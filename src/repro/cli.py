@@ -15,12 +15,20 @@ Commands
 ``simulate``
     Execute one configuration on the simulated cluster and print the
     per-stage breakdown and bottleneck profile.
+``serve``
+    Run the tuning-as-a-service daemon over a durable session store.
+``submit`` / ``status`` / ``results`` / ``cancel``
+    Thin service client verbs against a store directory (``--store``)
+    or a live daemon socket (``--socket``) — see docs/SERVING.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -142,7 +150,91 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--set", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="override single parameters (repeatable)")
+
+    p_srv = sub.add_parser("serve", help="run the tuning service daemon")
+    p_srv.add_argument("--store", required=True, metavar="DIR",
+                       help="session store directory (created on first use)")
+    p_srv.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="concurrent session-runner threads (default: 1)")
+    p_srv.add_argument("--poll", type=float, default=0.05, metavar="S",
+                       help="idle claim-poll interval in seconds")
+    p_srv.add_argument("--drain", action="store_true",
+                       help="exit once the store holds no runnable session "
+                            "(batch mode; default serves until SIGTERM)")
+    p_srv.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                       dest="max_sessions",
+                       help="exit after settling N sessions")
+    p_srv.add_argument("--socket", default=None, metavar="ADDR",
+                       help='RPC endpoint: "host:port", a unix-socket path, '
+                            'or "auto" (ephemeral 127.0.0.1 port); omitted '
+                            "= file transport only")
+    p_srv.add_argument("--recover", default="redispatch",
+                       choices=["redispatch", "censor"],
+                       help="journal recovery mode for sessions adopted "
+                            "from a crashed daemon (default re-executes "
+                            "in-flight evaluations bit-identically)")
+    p_srv.add_argument("--trace", default=None, metavar="FILE",
+                       help="write the daemon's serve.* event trace (JSONL; "
+                            "per-session traces are always written into the "
+                            "session directories unless --no-session-traces)")
+    p_srv.add_argument("--no-session-traces", action="store_true",
+                       dest="no_session_traces",
+                       help="skip the per-session trace-<n>.jsonl files")
+
+    p_sub = sub.add_parser("submit", help="submit a tuning session")
+    _common(p_sub)
+    p_sub.add_argument("--metric", default="time",
+                       choices=["time", "core_seconds"])
+    _service_endpoint(p_sub)
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="higher runs sooner; ties break by submission "
+                            "order")
+    p_sub.add_argument("--init-samples", type=int, default=20,
+                       dest="init_samples",
+                       help="BO training-set size (paper: 20)")
+    p_sub.add_argument("--selection-samples", type=int, default=None,
+                       dest="selection_samples", metavar="N",
+                       help="parameter-selection sample count (default: the "
+                            "paper's 100; smaller = faster smoke sessions)")
+    p_sub.add_argument("--selection-repeats", type=int, default=None,
+                       dest="selection_repeats", metavar="N",
+                       help="permutation-importance repeats")
+    p_sub.add_argument("--async-workers", type=int, default=0, metavar="K",
+                       dest="async_workers",
+                       help="asynchronous BO workers inside the session "
+                            "(0 = the serial, bit-reproducible loop)")
+    _resilience(p_sub)
+    p_sub.add_argument("--tag", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="free-form session metadata (repeatable)")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the session settles and print its "
+                            "final state and result digest")
+    p_sub.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                       help="--wait budget in seconds (default: 600)")
+
+    p_stat = sub.add_parser("status", help="show session state(s)")
+    p_stat.add_argument("sid", nargs="?", default=None,
+                        help="session id; omitted = list every session")
+    _service_endpoint(p_stat)
+
+    p_res = sub.add_parser("results", help="fetch a settled session's result")
+    p_res.add_argument("sid")
+    _service_endpoint(p_res)
+
+    p_can = sub.add_parser("cancel", help="cancel a session")
+    p_can.add_argument("sid")
+    _service_endpoint(p_can)
     return parser
+
+
+def _service_endpoint(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="session store directory (file transport)")
+    p.add_argument("--socket", default=None, metavar="ADDR",
+                   help='daemon RPC endpoint: "host:port", a unix-socket '
+                        'path, or "auto" (resolve from --store\'s '
+                        "daemon.json)")
 
 
 def _common(p: argparse.ArgumentParser) -> None:
@@ -516,6 +608,183 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _service_client(args):
+    """Build the client the service verbs share, or an error string."""
+    from .serve import ServiceClient
+    if args.socket:
+        if args.socket == "auto" and not args.store:
+            return '--socket auto needs --store DIR to find the daemon'
+        try:
+            return ServiceClient.for_socket(args.socket,
+                                            store_root=args.store)
+        except (ConnectionError, ValueError) as exc:
+            return str(exc)
+    if args.store:
+        return ServiceClient.for_store(args.store)
+    return "pass --store DIR or --socket ADDR to reach the service"
+
+
+def cmd_serve(args) -> int:
+    from .serve import SessionStore, TuningDaemon
+    try:
+        tracer, _ = _make_tracer(
+            args.trace, False,
+            {"command": "serve", "store": str(args.store),
+             "workers": args.workers})
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        daemon = TuningDaemon(
+            SessionStore(args.store), workers=args.workers,
+            poll_s=args.poll, drain=args.drain,
+            max_sessions=args.max_sessions, recover=args.recover,
+            socket_address=args.socket, tracer=tracer,
+            session_traces=not args.no_session_traces)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        daemon.stop()
+
+    # Signal handlers only exist in the main thread; a daemon hosted in
+    # a worker thread (tests) is stopped via --max-sessions/--drain.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    print(f"serving {args.store} with {args.workers} worker(s)"
+          f"{' (drain mode)' if args.drain else ''}", flush=True)
+    settled = daemon.run()
+    if tracer is not None:
+        tracer.close()
+    print(f"daemon exiting: {settled} session(s) settled")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .serve import SessionSpec
+    tags = {}
+    for pair in args.tag:
+        if "=" not in pair:
+            print(f"error: --tag expects KEY=VALUE, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        key, value = pair.split("=", 1)
+        tags[key] = value
+    try:
+        spec = SessionSpec(
+            workload=args.workload, dataset=args.dataset,
+            budget=args.budget, seed=args.seed, metric=args.metric,
+            priority=args.priority, init_samples=args.init_samples,
+            selection_samples=args.selection_samples,
+            selection_repeats=args.selection_repeats,
+            fault_rate=args.faults, retries=args.retries,
+            async_workers=args.async_workers,
+            eval_timeout_s=args.eval_timeout, speculate=args.speculate,
+            quarantine_after=args.quarantine_after, tags=tags)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = _service_client(args)
+    if isinstance(client, str):
+        print(f"error: {client}", file=sys.stderr)
+        return 2
+    sid = client.submit(spec)
+    print(sid)
+    if not args.wait:
+        return 0
+    from .serve import ServiceClient, WaitTimeout
+    try:
+        view = client.wait(sid, timeout_s=args.timeout)
+    except WaitTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        # The daemon's socket went away mid-wait (e.g. it hit its
+        # --max-sessions cap after claiming our session).  The session
+        # itself is durable, so finish the wait against the store when
+        # we know where it is.
+        if not args.store:
+            print(f"error: lost the daemon connection while waiting "
+                  f"({exc}); re-run 'repro status {sid}' against the "
+                  f"store", file=sys.stderr)
+            return 1
+        try:
+            view = ServiceClient.for_store(args.store).wait(
+                sid, timeout_s=args.timeout)
+        except WaitTimeout as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(f"state: {view['state']}")
+    result = view.get("result")
+    if result is not None:
+        print(f"digest: {result['digest']}")
+        if result.get("best_objective") is not None:
+            print(f"best objective: {result['best_objective']:.1f}")
+    if view["state"] == "FAILED" and view.get("error"):
+        print(f"error: {view['error']}", file=sys.stderr)
+    return 0 if view["state"] == "DONE" else 1
+
+
+def cmd_status(args) -> int:
+    client = _service_client(args)
+    if isinstance(client, str):
+        print(f"error: {client}", file=sys.stderr)
+        return 2
+    if args.sid is None:
+        try:
+            sessions = client.list_sessions()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        rows = [(s["sid"], s["state"], s["workload"], s["dataset"],
+                 s["priority"]) for s in sessions]
+        print(format_table(
+            ["Session", "State", "Workload", "Dataset", "Priority"], rows,
+            title=f"{len(sessions)} session(s)"))
+        return 0
+    try:
+        view = client.status(args.sid)
+    except (KeyError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(view, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_results(args) -> int:
+    client = _service_client(args)
+    if isinstance(client, str):
+        print(f"error: {client}", file=sys.stderr)
+        return 2
+    try:
+        result = client.results(args.sid)
+    except (KeyError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if result is None:
+        print(f"error: session {args.sid} has no result yet",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    client = _service_client(args)
+    if isinstance(client, str):
+        print(f"error: {client}", file=sys.stderr)
+        return 2
+    try:
+        state = client.cancel(args.sid)
+    except (KeyError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(state)
+    return 0
+
+
 def _strings_to_native(strings: dict[str, str], space) -> dict:
     native = {}
     for key, raw in strings.items():
@@ -551,6 +820,11 @@ _COMMANDS = {
     "compare": cmd_compare,
     "importance": cmd_importance,
     "simulate": cmd_simulate,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "results": cmd_results,
+    "cancel": cmd_cancel,
 }
 
 

@@ -75,6 +75,11 @@ EVENT_TYPES: dict[str, str] = {
                               "abandoned (charged as censored-at-cap)",
     "supervise.quarantine": "a config reached the strike cap and was "
                             "quarantined from re-proposal",
+    "serve.submit": "a tuning session was accepted into the session store",
+    "serve.claim": "a daemon worker claimed a session (fresh or resumed)",
+    "serve.state": "a stored session transitioned lifecycle state",
+    "serve.queue": "queue-depth snapshot of the session store by state",
+    "serve.recover": "a crashed session's journal was adopted for resume",
 }
 
 #: The counter catalog: every name passed to ``tracer.count`` anywhere in
@@ -99,6 +104,12 @@ COUNTERS: dict[str, str] = {
     "supervise.reclaim": "dead-worker tasks reclaimed and redispatched",
     "pool.abandoned_tasks": "pool tasks abandoned (deadline or shutdown)",
     "pool.workers_replaced": "pool workers replaced after a death",
+    "serve.submitted": "sessions accepted into the store",
+    "serve.claims": "sessions claimed by daemon workers",
+    "serve.resumed": "claimed sessions that resumed a prior journal",
+    "serve.done": "sessions settled DONE",
+    "serve.failed": "sessions settled FAILED",
+    "serve.cancelled": "sessions settled CANCELLED",
 }
 
 #: The timer catalog: every name passed to ``tracer.timer`` (RPX003).
@@ -110,6 +121,7 @@ TIMERS: dict[str, str] = {
     "pool.task": "WorkerPool task bodies",
     "async.propose": "async replacement-proposal draws",
     "async.wait": "async waits on the next completion",
+    "serve.claim": "session-claim attempts against the store (claim latency)",
 }
 
 #: The span catalog: every name passed to ``tracer.span`` (RPX003).
@@ -119,6 +131,7 @@ SPANS: dict[str, str] = {
     "transfer.probe": "a workload-mapper probe",
     "initial_design": "the initial (LHS) design evaluations",
     "bo": "the Bayesian-optimization loop",
+    "serve.session": "one served tuning session, claim to settle",
 }
 
 

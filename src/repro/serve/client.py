@@ -1,0 +1,111 @@
+"""Thin service client: one call per CLI verb, transport-agnostic.
+
+The client owns no policy — it forwards to whichever
+:class:`~repro.serve.transport.Transport` it was given (file or socket)
+and adds the one convenience the CLI and the tests both need:
+:meth:`ServiceClient.wait`, a bounded poll for a session to reach a
+terminal state.  The poll budget is expressed as an attempt count
+(``timeout_s / poll_s``) instead of a deadline read from a clock, so the
+client stays out of the timing-sensitive code paths the determinism
+lints fence off (docs/ANALYSIS.md, RPD005).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from .session import TERMINAL_STATES, SessionSpec
+from .store import SessionStore
+from .transport import FileTransport, SocketTransport, Transport
+
+__all__ = ["ServiceClient", "WaitTimeout"]
+
+
+class WaitTimeout(TimeoutError):
+    """A session did not settle within the wait budget."""
+
+
+class ServiceClient:
+    """Submit, watch and cancel tuning sessions on a service.
+
+    Build one from whichever endpoint you have::
+
+        ServiceClient.for_store("runs/serve")          # file transport
+        ServiceClient.for_socket("127.0.0.1:7341")     # live daemon
+        ServiceClient.for_socket("auto", store_root="runs/serve")
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+
+    @classmethod
+    def for_store(cls, root: str | Path) -> "ServiceClient":
+        return cls(FileTransport(SessionStore(root)))
+
+    @classmethod
+    def for_socket(cls, address: str, *,
+                   store_root: str | Path | None = None,
+                   timeout_s: float = 30.0) -> "ServiceClient":
+        return cls(SocketTransport(address, store_root=store_root,
+                                   timeout_s=timeout_s))
+
+    # -- verbs --------------------------------------------------------------------
+    def submit(self, spec: SessionSpec) -> str:
+        return self.transport.submit(spec)
+
+    def status(self, sid: str) -> dict[str, Any]:
+        return self.transport.status(sid)
+
+    def results(self, sid: str) -> dict[str, Any] | None:
+        return self.transport.results(sid)
+
+    def cancel(self, sid: str) -> str:
+        return self.transport.cancel(sid)
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        return self.transport.list_sessions()
+
+    def ping(self) -> bool:
+        return self.transport.ping()
+
+    # -- waiting ------------------------------------------------------------------
+    def wait(self, sid: str, *, timeout_s: float = 300.0,
+             poll_s: float = 0.25) -> dict[str, Any]:
+        """Poll until *sid* settles; returns its final status view.
+
+        Raises :class:`WaitTimeout` after ``timeout_s / poll_s``
+        attempts without a terminal state.
+        """
+        attempts = max(1, int(timeout_s / poll_s))
+        view: dict[str, Any] = {}
+        for _ in range(attempts):
+            view = self.status(sid)
+            if view["state"] in TERMINAL_STATES:
+                return view
+            time.sleep(poll_s)
+        raise WaitTimeout(
+            f"session {sid} still {view.get('state', '?')} after "
+            f"{attempts} polls of {poll_s}s")
+
+    def wait_all(self, sids: list[str], *, timeout_s: float = 600.0,
+                 poll_s: float = 0.25) -> dict[str, dict[str, Any]]:
+        """Wait for several sessions; returns {sid: final view}."""
+        views: dict[str, dict[str, Any]] = {}
+        pending = list(sids)
+        attempts = max(1, int(timeout_s / poll_s))
+        for _ in range(attempts):
+            still = []
+            for sid in pending:
+                view = self.status(sid)
+                if view["state"] in TERMINAL_STATES:
+                    views[sid] = view
+                else:
+                    still.append(sid)
+            pending = still
+            if not pending:
+                return views
+            time.sleep(poll_s)
+        raise WaitTimeout(f"sessions {pending} did not settle within "
+                          f"{attempts} polls of {poll_s}s")

@@ -24,7 +24,7 @@ class TestTraceDir:
         for rec in study.records:
             assert rec.trace_path is not None
             assert (f"{rec.tuner}-{rec.workload}-{rec.dataset}"
-                    f"-trial{rec.trial}.jsonl") in rec.trace_path
+                    f"-trial{rec.trial}-s") in rec.trace_path
             records = load_trace(rec.trace_path)
             assert validate_trace(records) == []
             meta = records[0]
@@ -45,6 +45,18 @@ class TestTraceDir:
         assert len(summaries) == 4
         table = render_aggregate(summaries)
         assert "RandomSearch" in table and "BestConfig" in table
+
+    def test_two_studies_share_a_trace_dir_without_collision(self, tmp_path):
+        # Regression: filenames once carried only the trial index, so a
+        # second study with a different base_seed into the same directory
+        # crashed on the writer's refuse-to-append guard.
+        kwargs = dict(budget=5, trials=1, workloads=["terasort"],
+                      datasets=["D1"], tuners=["RandomSearch"],
+                      trace_dir=tmp_path)
+        first = ComparisonStudy(base_seed=1, **kwargs).run()
+        second = ComparisonStudy(base_seed=2, **kwargs).run()
+        paths = {first.records[0].trace_path, second.records[0].trace_path}
+        assert len(paths) == 2  # session seed keeps the names distinct
 
     def test_untraced_study_has_no_trace_paths(self):
         study = ComparisonStudy(budget=5, trials=1, workloads=["terasort"],

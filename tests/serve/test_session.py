@@ -1,0 +1,84 @@
+"""SessionSpec validation, round-trips, and the evaluation digest."""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.serve import (STATES, TERMINAL_STATES, TRANSITIONS, SessionSpec,
+                         evaluation_digest)
+from repro.sparksim.result import RunStatus
+from repro.tuners.base import Evaluation
+
+
+class TestSpecValidation:
+    def test_defaults_are_the_paper_session(self):
+        spec = SessionSpec(workload="pagerank")
+        assert spec.budget == 100
+        assert spec.init_samples == 20
+        assert spec.selection_samples is None  # keep the paper's 100
+        assert spec.async_workers == 0  # the bit-reproducible loop
+
+    @pytest.mark.parametrize("bad", [
+        {"workload": ""},
+        {"workload": "pagerank", "budget": 0},
+        {"workload": "pagerank", "init_samples": 1},
+        {"workload": "pagerank", "selection_samples": 5},
+        {"workload": "pagerank", "fault_rate": 1.5},
+        {"workload": "pagerank", "retries": -1},
+        {"workload": "pagerank", "eval_timeout_s": 5.0},  # needs workers
+        {"workload": "pagerank", "speculate": True},  # needs timeout
+        {"workload": "pagerank", "time_limit_s": 0.0},
+    ])
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            SessionSpec(**bad)
+
+    def test_round_trip(self):
+        spec = SessionSpec(workload="kmeans", dataset="D2", budget=7,
+                           seed=9, priority=2, fault_rate=0.1,
+                           tags={"owner": "ci"})
+        assert SessionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown session spec"):
+            SessionSpec.from_dict({"workload": "pagerank", "nope": 1})
+
+
+class TestLifecycleTables:
+    def test_terminal_states_have_no_exits(self):
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == ()
+
+    def test_every_state_is_known(self):
+        assert set(TRANSITIONS) == set(STATES)
+        for targets in TRANSITIONS.values():
+            assert set(targets) <= set(STATES)
+
+
+def _evaluation(objective=10.0, cost=1.0, status=RunStatus.SUCCESS, **kw):
+    return Evaluation(vector=np.array([0.25, 0.75]),
+                      config={"a": 1, "b": "x"}, objective=objective,
+                      cost_s=cost, status=status, **kw)
+
+
+class TestDigest:
+    def test_equal_streams_digest_equal(self):
+        a = [_evaluation(), _evaluation(20.0, 2.0)]
+        b = [_evaluation(), _evaluation(20.0, 2.0)]
+        assert evaluation_digest(a) == evaluation_digest(b)
+
+    def test_any_field_changes_the_digest(self):
+        base = evaluation_digest([_evaluation()])
+        assert evaluation_digest([_evaluation(objective=10.5)]) != base
+        assert evaluation_digest([_evaluation(cost=1.5)]) != base
+        assert evaluation_digest(
+            [_evaluation(status=RunStatus.OOM)]) != base
+
+    def test_order_matters(self):
+        a, b = _evaluation(), _evaluation(20.0)
+        assert evaluation_digest([a, b]) != evaluation_digest([b, a])
+
+    def test_empty_stream_is_stable(self):
+        assert evaluation_digest([]) == evaluation_digest(())
